@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks: one generation per algorithm on a
+//! mid-sized community graph, across two privacy budgets. The relative
+//! ordering backs the Table IX discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgb_core::{Dgg, DpDk, GraphGenerator, PrivGraph, PrivHrg, PrivSkg, TmF};
+use pgb_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(7);
+    // A 600-node graph with planted communities: representative of the
+    // benchmark's structure without blowing up bench time.
+    let mut edges = Vec::new();
+    for c in 0..6u32 {
+        let base = c * 100;
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                if rand::Rng::gen_bool(&mut rng, 0.08) {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    for _ in 0..400 {
+        let u = rand::Rng::gen_range(&mut rng, 0..600u32);
+        let v = rand::Rng::gen_range(&mut rng, 0..600u32);
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    Graph::from_edges(600, edges).unwrap()
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let g = test_graph();
+    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
+        Box::new(DpDk::default()),
+        Box::new(TmF::default()),
+        Box::new(PrivSkg::default()),
+        Box::new(PrivHrg { max_steps: 60_000, ..Default::default() }),
+        Box::new(PrivGraph::default()),
+        Box::new(Dgg::default()),
+    ];
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for algo in &algorithms {
+        for eps in [0.5, 5.0] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("eps={eps}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        algo.generate(&g, eps, &mut rng).expect("valid inputs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the DP mechanism primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgb_dp::exponential::{exponential_mechanism, exponential_mechanism_sparse};
+use pgb_dp::geometric::sample_two_sided_geometric;
+use pgb_dp::laplace::sample_laplace;
+use pgb_dp::randomized_response::randomized_response;
+use pgb_dp::sensitivity::{dk2_local_sensitivity_at, smooth_sensitivity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+
+    group.bench_function("laplace_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| sample_laplace(2.0, &mut rng))
+    });
+
+    group.bench_function("geometric_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| sample_two_sided_geometric(0.5, &mut rng))
+    });
+
+    group.bench_function("randomized_response", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| randomized_response(true, 1.0, &mut rng))
+    });
+
+    let scores: Vec<f64> = (0..256).map(|i| (i % 17) as f64).collect();
+    group.bench_function("exponential_256", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| exponential_mechanism(&scores, 1.0, 1.0, &mut rng))
+    });
+
+    let sparse: Vec<(usize, f64)> = (0..16).map(|i| (i * 1000, (i % 5) as f64)).collect();
+    group.bench_function("exponential_sparse_16_of_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| exponential_mechanism_sparse(&sparse, 100_000, 1.0, 1.0, &mut rng))
+    });
+
+    group.bench_function("smooth_sensitivity_dk2", |b| {
+        b.iter(|| smooth_sensitivity(|k| dk2_local_sensitivity_at(500, k), 0.09, 20_000))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the 15 benchmark queries on a 1000-node
+//! graph — the per-query cost profile behind the harness's evaluation
+//! loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgb_queries::{PathMode, Query, QueryParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = pgb_models::erdos_renyi_gnp(1_000, 0.01, &mut rng);
+    let params = QueryParams::default();
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for q in Query::ALL {
+        group.bench_function(q.symbol(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                q.evaluate(&g, &params, &mut rng)
+            })
+        });
+    }
+    // The sampled-BFS estimator the harness switches to on large graphs.
+    let sampled = QueryParams { path_mode: PathMode::Sampled { sources: 64 }, ..params };
+    group.bench_function("l_avg/sampled64", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            Query::AveragePathLength.evaluate(&g, &sampled, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 2**: the end-to-end error curves — five queries
+//! (triangle RE, degree-distribution KL, diameter RE, community-detection
+//! NMI, eigenvector-centrality MAE) on four datasets (Facebook, CA-HepPh,
+//! Gnutella, ER graph) across the six privacy budgets, one series per
+//! algorithm.
+//!
+//! The output is one text table per (query, dataset) panel, in the same
+//! row/column layout as the figure. Note the CD panel prints `1 − NMI`
+//! (lower is better) to match the benchmark's uniform orientation.
+
+use pgb_bench::{benchmark_config, suite, HarnessArgs};
+use pgb_core::benchmark::report::render_series;
+use pgb_core::benchmark::run_benchmark;
+use pgb_datasets::Dataset;
+use pgb_queries::Query;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let datasets: Vec<(String, pgb_graph::Graph)> =
+        [Dataset::Facebook, Dataset::CaHepPh, Dataset::Gnutella, Dataset::ErGraph]
+            .iter()
+            .map(|d| (d.name().to_string(), d.generate(args.seed)))
+            .collect();
+    let max_nodes = datasets.iter().map(|(_, g)| g.node_count()).max().unwrap_or(0);
+    let mut config = benchmark_config(&args, max_nodes);
+    config.queries = vec![
+        Query::Triangles,
+        Query::DegreeDistribution,
+        Query::Diameter,
+        Query::CommunityDetection,
+        Query::EigenvectorCentrality,
+    ];
+    let algorithms = suite();
+    eprintln!("running Fig. 2 grid ({} reps per cell)...", config.repetitions);
+    let start = std::time::Instant::now();
+    let results = run_benchmark(&algorithms, &datasets, &config);
+    eprintln!("completed in {:.1}s\n", start.elapsed().as_secs_f64());
+
+    for &query in &config.queries {
+        let metric = pgb_core::benchmark::metric_for(query).name();
+        for (name, _) in &datasets {
+            println!("Fig. 2 panel — {} ({metric}) on {name}", query.symbol());
+            println!("{}", render_series(&results, name, query));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figs. 5 and 6** (verification appendix): PrivSKG on
+//! CA-GrQc at ε = 0.2 (the original paper's setting) — the degree
+//! distribution of original vs generated graphs on a log-binned scale
+//! (Fig. 5) and the degree-vs-average-local-clustering curve (Fig. 6).
+
+use pgb_bench::HarnessArgs;
+use pgb_core::benchmark::TextTable;
+use pgb_core::{GraphGenerator, PrivSkg};
+use pgb_datasets::Dataset;
+use pgb_queries::clustering::clustering_by_degree;
+use pgb_queries::degree::log_binned_degree_histogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let truth = Dataset::CaGrQc.generate(args.seed);
+    let eps = 0.2;
+    let reps = args.repetitions().max(1);
+    eprintln!("generating {reps} PrivSKG graphs at ε = {eps} ...");
+    let mut synths = Vec::new();
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ ((rep as u64) << 24));
+        synths.push(PrivSkg::default().generate(&truth, eps, &mut rng).expect("valid inputs"));
+    }
+
+    // ---- Fig. 5: log-binned degree histograms ----
+    println!("Fig. 5 — degree distribution (log₂-binned node counts)\n");
+    let true_hist = log_binned_degree_histogram(&truth);
+    let synth_hists: Vec<Vec<u64>> =
+        synths.iter().map(log_binned_degree_histogram).collect();
+    let bins = true_hist.len().max(synth_hists.iter().map(Vec::len).max().unwrap_or(0));
+    let mut table = TextTable::new(["degree bin", "original", "generated (avg)"]);
+    for b in 0..bins {
+        let label = if b == 0 { "0".to_string() } else { format!("[{}, {})", 1u64 << (b - 1), 1u64 << b) };
+        let orig = true_hist.get(b).copied().unwrap_or(0);
+        let avg: f64 = synth_hists.iter().map(|h| h.get(b).copied().unwrap_or(0) as f64).sum::<f64>()
+            / reps as f64;
+        table.add_row([label, orig.to_string(), format!("{avg:.1}")]);
+    }
+    println!("{}", table.render());
+
+    // ---- Fig. 6: degree vs average local clustering ----
+    println!("Fig. 6 — degree vs average local clustering coefficient\n");
+    let true_curve = clustering_by_degree(&truth);
+    let synth_curves: Vec<Vec<f64>> = synths.iter().map(clustering_by_degree).collect();
+    let mut table = TextTable::new(["degree", "original ACC", "generated ACC (avg)"]);
+    // Sample the curve at powers of two, as the log-log plot does.
+    let mut d = 1usize;
+    let max_d = true_curve.len().max(synth_curves.iter().map(Vec::len).max().unwrap_or(0));
+    while d < max_d {
+        let orig = true_curve.get(d).copied().unwrap_or(0.0);
+        let avg: f64 = synth_curves
+            .iter()
+            .map(|c| c.get(d).copied().unwrap_or(0.0))
+            .sum::<f64>()
+            / reps as f64;
+        table.add_row([d.to_string(), format!("{orig:.4}"), format!("{avg:.4}")]);
+        d *= 2;
+    }
+    println!("{}", table.render());
+    println!("Expected shape (appendix A): both distributions peak at the same");
+    println!("order of magnitude and decay power-law-like; the SKG model smooths");
+    println!("the clustering curve relative to the clique-heavy original.");
+}

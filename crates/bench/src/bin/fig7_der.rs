@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 7** (appendix C): DER compared against TmF and
+//! PrivGraph — clustering-coefficient RE and diameter RE on Facebook and
+//! Wiki-Vote across the six privacy budgets. The paper's takeaway: DER
+//! generally trails the two newer mechanisms.
+
+use pgb_bench::{benchmark_config, HarnessArgs};
+use pgb_core::benchmark::report::render_series;
+use pgb_core::benchmark::run_benchmark;
+use pgb_core::{Der, GraphGenerator, PrivGraph, TmF};
+use pgb_datasets::Dataset;
+use pgb_queries::Query;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let datasets: Vec<(String, pgb_graph::Graph)> = [Dataset::Facebook, Dataset::WikiVote]
+        .iter()
+        .map(|d| (d.name().to_string(), d.generate(args.seed)))
+        .collect();
+    let max_nodes = datasets.iter().map(|(_, g)| g.node_count()).max().unwrap_or(0);
+    let mut config = benchmark_config(&args, max_nodes);
+    config.queries = vec![Query::AverageClustering, Query::Diameter];
+    let algorithms: Vec<Box<dyn GraphGenerator>> =
+        vec![Box::new(TmF::default()), Box::new(PrivGraph::default()), Box::new(Der::default())];
+    eprintln!("running Fig. 7 grid ({} reps per cell)...", config.repetitions);
+    let start = std::time::Instant::now();
+    let results = run_benchmark(&algorithms, &datasets, &config);
+    eprintln!("completed in {:.1}s\n", start.elapsed().as_secs_f64());
+
+    for &query in &config.queries {
+        for (name, _) in &datasets {
+            println!("Fig. 7 panel — {} RE on {name}", query.symbol());
+            println!("{}", render_series(&results, name, query));
+        }
+    }
+    println!("Expected shape (appendix C): DER exhibits generally higher error");
+    println!("than TmF and PrivGraph across budgets.");
+}

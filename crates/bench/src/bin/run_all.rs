@@ -1,0 +1,47 @@
+//! Runs every table / figure binary's experiment in sequence by invoking
+//! the sibling binaries (so each gets its own process, which matters for
+//! the Table X allocator measurement).
+
+use std::process::Command;
+
+const BINS: [&str; 10] = [
+    "table6",
+    "table8",
+    "table9_time",
+    "table10_memory",
+    "table11_dpdk_verify",
+    "fig3_fig4_tmf_verify",
+    "fig5_fig6_privskg_verify",
+    "fig7_der",
+    "fig2",
+    "table7",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in BINS {
+        println!("\n============================================================");
+        println!("== {bin}");
+        println!("============================================================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    // Table XII reuses the Table VII grid; run it last so a user watching
+    // the output sees the headline tables at the end.
+    println!("\n============================================================");
+    println!("== table12");
+    println!("============================================================\n");
+    let status = Command::new(dir.join("table12"))
+        .args(&forwarded)
+        .status()
+        .expect("failed to launch table12");
+    std::process::exit(status.code().unwrap_or(1));
+}

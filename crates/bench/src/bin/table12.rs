@@ -1,0 +1,27 @@
+//! Regenerates **Table XII** (appendix B): the Definition 6 best counts —
+//! for every query, how often each algorithm achieves the lowest error
+//! over the 8 datasets × 6 privacy budgets.
+
+use pgb_bench::{benchmark_config, load_datasets, suite, HarnessArgs};
+use pgb_core::benchmark::report::render_table12;
+use pgb_core::benchmark::run_benchmark;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let datasets = load_datasets(args.seed);
+    let max_nodes = datasets.iter().map(|(_, g)| g.node_count()).max().unwrap_or(0);
+    let config = benchmark_config(&args, max_nodes);
+    let algorithms = suite();
+    eprintln!(
+        "running {} algorithms x {} datasets x {} budgets x {} reps ...",
+        algorithms.len(),
+        datasets.len(),
+        config.epsilons.len(),
+        config.repetitions
+    );
+    let start = std::time::Instant::now();
+    let results = run_benchmark(&algorithms, &datasets, &config);
+    eprintln!("completed in {:.1}s\n", start.elapsed().as_secs_f64());
+    println!("Table XII — best-performance counts C_A(Q) over 8 datasets x 6 budgets\n");
+    println!("{}", render_table12(&results));
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table VI**: the statistics of the 8 benchmark datasets
+//! (node count, edge count, average clustering coefficient, type), plus
+//! the paper's target values for comparison.
+
+use pgb_bench::HarnessArgs;
+use pgb_core::benchmark::TextTable;
+use pgb_datasets::Dataset;
+use pgb_queries::clustering::average_clustering;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("Table VI — dataset statistics (measured vs paper targets)\n");
+    let mut table = TextTable::new([
+        "Graph", "|V|", "|E|", "|E| target", "ACC", "ACC target", "Type",
+    ]);
+    for d in Dataset::TABLE_VI {
+        let g = d.generate(args.seed);
+        let t = d.target();
+        table.add_row([
+            d.name().to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            t.edges.to_string(),
+            format!("{:.4}", average_clustering(&g)),
+            format!("{:.4}", t.acc),
+            format!("{:?}", t.graph_type),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table IX**: wall-clock time (seconds) of one generation
+//! per algorithm × dataset at ε = 1 (the paper's cost experiment).
+//!
+//! Absolute numbers differ from the paper's (Rust vs Python, different
+//! hardware); the comparison of interest is the *relative* ordering:
+//! degree-based algorithms fastest, PrivSKG / PrivHRG slowest.
+
+use pgb_bench::{load_datasets, suite, timing, HarnessArgs};
+use pgb_core::benchmark::TextTable;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let datasets = load_datasets(args.seed);
+    let algorithms = suite();
+    println!("Table IX — generation time (seconds), ε = 1\n");
+    let mut headers = vec!["Graph".to_string()];
+    headers.extend(algorithms.iter().map(|a| a.name().to_string()));
+    let mut table = TextTable::new(headers);
+    for (name, graph) in &datasets {
+        eprintln!("timing on {name} ({} nodes)...", graph.node_count());
+        let mut row = vec![name.clone()];
+        for algo in &algorithms {
+            let (_, secs) = timing::time_once(algo.as_ref(), graph, 1.0, args.seed);
+            row.push(timing::format_seconds(secs));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+}

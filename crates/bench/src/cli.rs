@@ -1,0 +1,146 @@
+//! Minimal argument parsing shared by the harness binaries.
+
+/// Experiment scale presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Full grid, 2 repetitions, sampled path queries — minutes on a
+    /// laptop. The default.
+    Small,
+    /// Full grid, 5 repetitions.
+    Medium,
+    /// The paper's protocol: 10 repetitions (§V-D). Hours.
+    Paper,
+}
+
+impl Scale {
+    /// Repetitions per benchmark cell.
+    pub fn repetitions(&self) -> usize {
+        match self {
+            Scale::Small => 2,
+            Scale::Medium => 5,
+            Scale::Paper => 10,
+        }
+    }
+}
+
+/// Parsed harness arguments.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Repetition override (None ⇒ scale default).
+    pub reps: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: Scale::Small, reps: None, seed: 0, threads: 0 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale`, `--reps`, `--seed`, `--threads` from an iterator
+    /// of arguments (unknown arguments error).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = match value_of("--scale")?.as_str() {
+                        "small" => Scale::Small,
+                        "medium" => Scale::Medium,
+                        "paper" => Scale::Paper,
+                        other => return Err(format!("unknown scale {other:?}")),
+                    };
+                }
+                "--reps" => {
+                    out.reps = Some(
+                        value_of("--reps")?
+                            .parse()
+                            .map_err(|e| format!("invalid --reps: {e}"))?,
+                    );
+                }
+                "--seed" => {
+                    out.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|e| format!("invalid --seed: {e}"))?;
+                }
+                "--threads" => {
+                    out.threads = value_of("--threads")?
+                        .parse()
+                        .map_err(|e| format!("invalid --threads: {e}"))?;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process arguments, exiting with usage on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--scale small|medium|paper] [--reps N] [--seed N] [--threads N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Effective repetition count.
+    pub fn repetitions(&self) -> usize {
+        self.reps.unwrap_or_else(|| self.scale.repetitions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.repetitions(), 2);
+        assert_eq!(a.seed, 0);
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = parse(&["--scale", "paper", "--reps", "3", "--seed", "9", "--threads", "4"])
+            .unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.repetitions(), 3); // override wins
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, 4);
+    }
+
+    #[test]
+    fn scale_defaults() {
+        assert_eq!(Scale::Small.repetitions(), 2);
+        assert_eq!(Scale::Medium.repetitions(), 5);
+        assert_eq!(Scale::Paper.repetitions(), 10);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "huge"]).is_err());
+        assert!(parse(&["--reps"]).is_err());
+    }
+}

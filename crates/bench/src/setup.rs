@@ -1,0 +1,91 @@
+//! Shared experiment setup: datasets, the algorithm suite, and the
+//! benchmark configuration derived from the CLI arguments.
+
+use crate::cli::HarnessArgs;
+use pgb_core::benchmark::BenchmarkConfig;
+use pgb_core::GraphGenerator;
+use pgb_datasets::Dataset;
+use pgb_graph::Graph;
+use pgb_queries::{PathMode, QueryParams};
+
+/// Loads the 8 Table VI datasets, generated deterministically from the
+/// harness seed.
+pub fn load_datasets(seed: u64) -> Vec<(String, Graph)> {
+    Dataset::TABLE_VI
+        .iter()
+        .map(|d| (d.name().to_string(), d.generate(seed)))
+        .collect()
+}
+
+/// The paper's six-algorithm suite (Table V).
+pub fn suite() -> Vec<Box<dyn GraphGenerator>> {
+    pgb_core::standard_suite()
+}
+
+/// Node count above which path queries switch to sampled BFS (see
+/// DESIGN.md's substitution table).
+const EXACT_BFS_LIMIT: usize = 5_000;
+
+/// Query parameters for a dataset of `n` nodes.
+pub fn query_params_for(n: usize) -> QueryParams {
+    QueryParams {
+        path_mode: if n <= EXACT_BFS_LIMIT {
+            PathMode::Exact
+        } else {
+            PathMode::Sampled { sources: 64 }
+        },
+        ..QueryParams::default()
+    }
+}
+
+/// A benchmark configuration following the paper's protocol (ε grid
+/// {0.1, 0.5, 1, 2, 5, 10}, all 15 queries), scaled by the harness
+/// arguments. `max_nodes` is the largest dataset in play, deciding the
+/// BFS mode.
+pub fn benchmark_config(args: &HarnessArgs, max_nodes: usize) -> BenchmarkConfig {
+    BenchmarkConfig {
+        epsilons: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
+        repetitions: args.repetitions(),
+        query_params: query_params_for(max_nodes),
+        seed: args.seed,
+        threads: args.threads,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_load_all_eight() {
+        let ds = load_datasets(0);
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds[0].0, "Minnesota");
+        assert!(ds.iter().all(|(_, g)| g.node_count() > 0));
+    }
+
+    #[test]
+    fn suite_has_six_algorithms() {
+        let s = suite();
+        assert_eq!(s.len(), 6);
+        let names: Vec<&str> = s.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["DP-dK", "TmF", "PrivSKG", "PrivHRG", "PrivGraph", "DGG"]);
+    }
+
+    #[test]
+    fn query_params_switch_to_sampling() {
+        assert_eq!(query_params_for(100).path_mode, PathMode::Exact);
+        assert!(matches!(query_params_for(20_000).path_mode, PathMode::Sampled { .. }));
+    }
+
+    #[test]
+    fn config_follows_args() {
+        let args = HarnessArgs { seed: 7, ..Default::default() };
+        let c = benchmark_config(&args, 100);
+        assert_eq!(c.epsilons, vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0]);
+        assert_eq!(c.repetitions, 2);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.queries.len(), 15);
+    }
+}

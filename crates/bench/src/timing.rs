@@ -1,0 +1,52 @@
+//! Wall-clock measurement for the Table IX experiment.
+
+use pgb_core::GraphGenerator;
+use pgb_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs one generation and returns `(synthetic_graph, seconds)`.
+pub fn time_once(
+    algorithm: &dyn GraphGenerator,
+    graph: &Graph,
+    epsilon: f64,
+    seed: u64,
+) -> (Graph, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let out = algorithm
+        .generate(graph, epsilon, &mut rng)
+        .expect("benchmark inputs are valid");
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats seconds in the paper's Table IX style.
+pub fn format_seconds(s: f64) -> String {
+    if s < 10.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_core::TmF;
+
+    #[test]
+    fn timing_returns_graph_and_positive_duration() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = pgb_models::erdos_renyi_gnp(200, 0.05, &mut rng);
+        let (out, secs) = time_once(&TmF::default(), &g, 1.0, 1);
+        assert_eq!(out.node_count(), 200);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(format_seconds(0.123), "0.12");
+        assert_eq!(format_seconds(123.456), "123.5");
+    }
+}

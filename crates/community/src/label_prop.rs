@@ -1,0 +1,105 @@
+//! Label propagation (Raghavan et al., 2007): a near-linear-time baseline
+//! community detector, used in ablations against Louvain.
+
+use crate::Partition;
+use pgb_graph::Graph;
+use rand::Rng;
+
+/// Runs synchronous-order label propagation: every node repeatedly adopts
+/// the most frequent label among its neighbours (ties broken uniformly at
+/// random) until a sweep changes nothing or `max_sweeps` is hit.
+pub fn label_propagation<R: Rng + ?Sized>(g: &Graph, max_sweeps: usize, rng: &mut R) -> Partition {
+    let n = g.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for _ in 0..max_sweeps {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut changed = false;
+        for &u in &order {
+            if g.degree(u) == 0 {
+                continue;
+            }
+            counts.clear();
+            for &v in g.neighbors(u) {
+                *counts.entry(labels[v as usize]).or_insert(0) += 1;
+            }
+            let best = counts.values().copied().max().unwrap_or(0);
+            let mut candidates: Vec<u32> =
+                counts.iter().filter(|(_, &c)| c == best).map(|(&l, _)| l).collect();
+            // Sorted so the RNG draw is reproducible regardless of
+            // HashMap iteration order.
+            candidates.sort_unstable();
+            let new = candidates[rng.gen_range(0..candidates.len())];
+            if new != labels[u as usize] {
+                labels[u as usize] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut p = Partition::from_labels(labels);
+    p.normalize();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separates_disconnected_cliques() {
+        let mut rng = StdRng::seed_from_u64(210);
+        let mut edges = Vec::new();
+        for base in [0u32, 5u32] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        let g = Graph::from_edges(10, edges).unwrap();
+        let p = label_propagation(&g, 20, &mut rng);
+        assert_eq!(p.community_count(), 2);
+        assert_ne!(p.label(0), p.label(5));
+    }
+
+    #[test]
+    fn clique_collapses_to_one_label() {
+        let mut rng = StdRng::seed_from_u64(211);
+        let mut edges = Vec::new();
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(8, edges).unwrap();
+        let p = label_propagation(&g, 30, &mut rng);
+        assert_eq!(p.community_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_labels() {
+        let mut rng = StdRng::seed_from_u64(212);
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let p = label_propagation(&g, 10, &mut rng);
+        // Nodes 2 and 3 are isolated: they stay as singleton communities.
+        assert_ne!(p.label(2), p.label(3));
+        assert_ne!(p.label(2), p.label(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut rng = StdRng::seed_from_u64(213);
+        let p = label_propagation(&Graph::new(0), 5, &mut rng);
+        assert!(p.is_empty());
+    }
+}

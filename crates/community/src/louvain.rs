@@ -1,0 +1,238 @@
+//! The Louvain method (Blondel et al., 2008): greedy modularity
+//! optimisation with local moving and graph aggregation.
+//!
+//! PGB uses Louvain twice: as the benchmark's community-detection query
+//! (Q12, on unweighted graphs) and inside PrivGraph's phase 1, which runs
+//! it on a *noisy weighted super-graph* — hence the weighted entry point.
+
+use crate::{Partition, WeightedGraph};
+use pgb_graph::Graph;
+use rand::Rng;
+
+/// Louvain tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LouvainParams {
+    /// Minimum modularity gain per full sweep to keep iterating a level.
+    pub min_gain: f64,
+    /// Maximum local-moving sweeps per level.
+    pub max_sweeps: usize,
+    /// Maximum aggregation levels.
+    pub max_levels: usize,
+}
+
+impl Default for LouvainParams {
+    fn default() -> Self {
+        LouvainParams { min_gain: 1e-7, max_sweeps: 32, max_levels: 32 }
+    }
+}
+
+/// Runs Louvain on an unweighted graph; returns the partition of the
+/// original nodes.
+pub fn louvain<R: Rng + ?Sized>(g: &Graph, params: &LouvainParams, rng: &mut R) -> Partition {
+    louvain_weighted(&WeightedGraph::from_graph(g), params, rng)
+}
+
+/// Runs Louvain on a weighted graph; returns the partition of the original
+/// nodes.
+pub fn louvain_weighted<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    params: &LouvainParams,
+    rng: &mut R,
+) -> Partition {
+    let n = g.node_count();
+    if n == 0 {
+        return Partition::from_labels(Vec::new());
+    }
+    // node → community at the *current* level, starting as identity; the
+    // mapping chain is composed across levels.
+    let mut mapping: Vec<u32> = (0..n as u32).collect();
+    let mut current = g.clone();
+    for _level in 0..params.max_levels {
+        let (labels, improved) = local_moving(&current, params, rng);
+        if !improved {
+            break;
+        }
+        // Compact labels and compose with the running mapping.
+        let mut compact = Partition::from_labels(labels);
+        let k = compact.normalize();
+        for m in &mut mapping {
+            *m = compact.label(*m);
+        }
+        if k == current.node_count() {
+            break; // no aggregation happened
+        }
+        current = current.aggregate(compact.labels(), k);
+    }
+    let mut p = Partition::from_labels(mapping);
+    p.normalize();
+    p
+}
+
+/// One level of local moving. Returns the level's labels and whether any
+/// node changed community.
+fn local_moving<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    params: &LouvainParams,
+    rng: &mut R,
+) -> (Vec<u32>, bool) {
+    let n = g.node_count();
+    let two_m = g.total_weight();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if two_m <= 0.0 {
+        return (labels, false);
+    }
+    let degree: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
+    // Σ of weighted degrees per community.
+    let mut comm_total: Vec<f64> = degree.clone();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut improved_any = false;
+    // Scratch: weight from the moving node to each neighbouring community.
+    let mut to_comm: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for _sweep in 0..params.max_sweeps {
+        let mut gain_this_sweep = 0.0;
+        for &u in &order {
+            let cu = labels[u as usize];
+            to_comm.clear();
+            for &(v, w) in g.neighbors(u) {
+                *to_comm.entry(labels[v as usize]).or_insert(0.0) += w;
+            }
+            let ku = degree[u as usize];
+            comm_total[cu as usize] -= ku;
+            let base = to_comm.get(&cu).copied().unwrap_or(0.0)
+                - ku * comm_total[cu as usize] / two_m;
+            let (mut best_comm, mut best_gain) = (cu, 0.0f64);
+            for (&c, &w_uc) in &to_comm {
+                if c == cu {
+                    continue;
+                }
+                // ΔQ of moving u into c (constant factors dropped). Ties
+                // break towards the smaller community id so the result is
+                // independent of HashMap iteration order.
+                let gain = w_uc - ku * comm_total[c as usize] / two_m - base;
+                if gain > best_gain + 1e-12
+                    || (gain > best_gain - 1e-12 && best_comm != cu && c < best_comm)
+                {
+                    best_gain = gain.max(best_gain);
+                    best_comm = c;
+                }
+            }
+            comm_total[best_comm as usize] += ku;
+            if best_comm != cu {
+                labels[u as usize] = best_comm;
+                improved_any = true;
+                gain_this_sweep += best_gain;
+            }
+        }
+        if gain_this_sweep < params.min_gain * two_m {
+            break;
+        }
+    }
+    (labels, improved_any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use pgb_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted_two_communities(rng: &mut StdRng) -> Graph {
+        // Two dense 20-node blobs with a couple of bridges.
+        let mut edges = Vec::new();
+        for base in [0u32, 20u32] {
+            for i in 0..20 {
+                for j in (i + 1)..20 {
+                    if rng.gen_bool(0.4) {
+                        edges.push((base + i, base + j));
+                    }
+                }
+            }
+        }
+        edges.push((0, 20));
+        edges.push((5, 25));
+        Graph::from_edges(40, edges).unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_partition() {
+        let mut rng = StdRng::seed_from_u64(200);
+        let g = planted_two_communities(&mut rng);
+        let p = louvain(&g, &LouvainParams::default(), &mut rng);
+        // Strong planted structure: nodes 0..20 vs 20..40 should separate
+        // (allowing Louvain to find either exactly 2 or a few communities
+        // nested inside the two blobs).
+        let q = modularity(&g, &p);
+        assert!(q > 0.3, "modularity {q}");
+        // Check the two blobs are not merged.
+        let left = p.label(3);
+        let right = p.label(23);
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn two_triangles_exact() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
+        let p = louvain(&g, &LouvainParams::default(), &mut rng);
+        assert_eq!(p.community_count(), 2);
+        assert_eq!(p.label(0), p.label(1));
+        assert_eq!(p.label(0), p.label(2));
+        assert_eq!(p.label(3), p.label(4));
+        assert_ne!(p.label(0), p.label(3));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let p = louvain(&Graph::new(0), &LouvainParams::default(), &mut rng);
+        assert!(p.is_empty());
+        let p = louvain(&Graph::new(5), &LouvainParams::default(), &mut rng);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn weighted_louvain_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(203);
+        // A 4-cycle where two opposite edges are heavy: the heavy pairs
+        // should end up together.
+        let mut w = WeightedGraph::new(4);
+        w.add_edge(0, 1, 10.0);
+        w.add_edge(2, 3, 10.0);
+        w.add_edge(1, 2, 0.1);
+        w.add_edge(3, 0, 0.1);
+        let p = louvain_weighted(&w, &LouvainParams::default(), &mut rng);
+        assert_eq!(p.label(0), p.label(1));
+        assert_eq!(p.label(2), p.label(3));
+        assert_ne!(p.label(0), p.label(2));
+    }
+
+    #[test]
+    fn louvain_nondegenerate_on_er() {
+        let mut rng = StdRng::seed_from_u64(204);
+        let g = pgb_models::erdos_renyi_gnp(300, 0.05, &mut rng);
+        let p = louvain(&g, &LouvainParams::default(), &mut rng);
+        let k = p.community_count();
+        assert!(k > 1 && k < 300, "communities {k}");
+        // Louvain should beat the trivial partitions on any graph.
+        let q = modularity(&g, &p);
+        assert!(q > 0.0, "modularity {q}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            louvain(&g, &LouvainParams::default(), &mut rng)
+        };
+        assert_eq!(run(7).labels(), run(7).labels());
+    }
+}

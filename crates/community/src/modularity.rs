@@ -1,0 +1,136 @@
+//! Newman modularity (query Q13 of the benchmark).
+
+use crate::{Partition, WeightedGraph};
+use pgb_graph::Graph;
+
+/// Modularity of `partition` on the unweighted graph `g`:
+/// `Q = Σ_c (e_c / m − (d_c / 2m)²)`, where `e_c` is the number of
+/// intra-community edges and `d_c` the total degree of community `c`.
+/// Returns 0.0 for edgeless graphs (the convention used by the reference
+/// evaluation code).
+pub fn modularity(g: &Graph, partition: &Partition) -> f64 {
+    assert_eq!(g.node_count(), partition.len(), "partition/graph size mismatch");
+    let m = g.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mut intra: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    let mut degree: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for (u, v) in g.edges() {
+        let (cu, cv) = (partition.label(u), partition.label(v));
+        if cu == cv {
+            *intra.entry(cu).or_insert(0.0) += 1.0;
+        }
+    }
+    for u in g.nodes() {
+        *degree.entry(partition.label(u)).or_insert(0.0) += g.degree(u) as f64;
+    }
+    degree
+        .iter()
+        .map(|(c, &d)| {
+            let e = intra.get(c).copied().unwrap_or(0.0);
+            e / m - (d / (2.0 * m)).powi(2)
+        })
+        .sum()
+}
+
+/// Weighted modularity over a [`WeightedGraph`] (used by Louvain's
+/// aggregated levels): same formula with weights in place of counts.
+pub fn modularity_weighted(g: &WeightedGraph, labels: &[u32]) -> f64 {
+    assert_eq!(g.node_count(), labels.len(), "label/graph size mismatch");
+    let two_m = g.total_weight();
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let mut intra: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    let mut degree: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for u in 0..g.node_count() as u32 {
+        let cu = labels[u as usize];
+        *degree.entry(cu).or_insert(0.0) += g.weighted_degree(u);
+        *intra.entry(cu).or_insert(0.0) += g.self_loop(u); // w counted once per loop
+        for &(v, w) in g.neighbors(u) {
+            if v > u && labels[v as usize] == cu {
+                *intra.entry(cu).or_insert(0.0) += w;
+            }
+        }
+    }
+    degree
+        .iter()
+        .map(|(c, &d)| {
+            let e = intra.get(c).copied().unwrap_or(0.0);
+            e / (two_m / 2.0) - (d / two_m).powi(2)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_graph::Graph;
+
+    /// Two triangles joined by a single bridge edge.
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn perfect_split_scores_high() {
+        let g = two_triangles();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let q = modularity(&g, &p);
+        // Hand computation: m = 7, each community has 3 intra edges and
+        // total degree 7 ⇒ Q = 2·(3/7 − (7/14)²) = 6/7 − 1/2 = 5/14.
+        assert!((q - 5.0 / 14.0).abs() < 1e-12, "Q = {q}");
+    }
+
+    #[test]
+    fn whole_partition_scores_zero() {
+        let g = two_triangles();
+        let q = modularity(&g, &Partition::whole(6));
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_score_negative() {
+        let g = two_triangles();
+        let q = modularity(&g, &Partition::singletons(6));
+        assert!(q < 0.0);
+    }
+
+    #[test]
+    fn good_split_beats_bad_split() {
+        let g = two_triangles();
+        let good = modularity(&g, &Partition::from_labels(vec![0, 0, 0, 1, 1, 1]));
+        let bad = modularity(&g, &Partition::from_labels(vec![0, 1, 0, 1, 0, 1]));
+        assert!(good > bad + 0.3);
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        let g = Graph::new(4);
+        assert_eq!(modularity(&g, &Partition::whole(4)), 0.0);
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_for_unit_weights() {
+        let g = two_triangles();
+        let w = WeightedGraph::from_graph(&g);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let qw = modularity_weighted(&w, &labels);
+        let q = modularity(&g, &Partition::from_labels(labels));
+        assert!((qw - q).abs() < 1e-12, "{qw} vs {q}");
+    }
+
+    #[test]
+    fn weighted_aggregation_invariant() {
+        // Modularity of a partition equals the modularity of the same
+        // partition on the aggregated graph with singleton labels.
+        let g = two_triangles();
+        let w = WeightedGraph::from_graph(&g);
+        let labels = vec![0u32, 0, 0, 1, 1, 1];
+        let agg = w.aggregate(&labels, 2);
+        let q1 = modularity_weighted(&w, &labels);
+        let q2 = modularity_weighted(&agg, &[0, 1]);
+        assert!((q1 - q2).abs() < 1e-12, "{q1} vs {q2}");
+    }
+}

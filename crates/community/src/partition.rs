@@ -1,0 +1,128 @@
+//! Node partitions (community assignments).
+
+use pgb_graph::NodeId;
+use std::collections::HashMap;
+
+/// A partition of the node set `0..len` into communities, stored as a
+/// label per node. Labels are arbitrary `u32`s; [`Partition::normalize`]
+/// compacts them to `0..community_count`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    labels: Vec<u32>,
+}
+
+impl Partition {
+    /// Wraps a label vector.
+    pub fn from_labels(labels: Vec<u32>) -> Self {
+        Partition { labels }
+    }
+
+    /// The all-singletons partition over `n` nodes.
+    pub fn singletons(n: usize) -> Self {
+        Partition { labels: (0..n as u32).collect() }
+    }
+
+    /// The single-community partition over `n` nodes.
+    pub fn whole(n: usize) -> Self {
+        Partition { labels: vec![0; n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the partition covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of node `u`.
+    pub fn label(&self, u: NodeId) -> u32 {
+        self.labels[u as usize]
+    }
+
+    /// The raw label slice.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Re-assigns node `u` to community `c`.
+    pub fn assign(&mut self, u: NodeId, c: u32) {
+        self.labels[u as usize] = c;
+    }
+
+    /// Number of distinct communities.
+    pub fn community_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.labels.iter().for_each(|&l| {
+            seen.insert(l);
+        });
+        seen.len()
+    }
+
+    /// Compacts labels to `0..community_count` in first-appearance order;
+    /// returns the number of communities.
+    pub fn normalize(&mut self) -> usize {
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for l in &mut self.labels {
+            let next = map.len() as u32;
+            *l = *map.entry(*l).or_insert(next);
+        }
+        map.len()
+    }
+
+    /// Community membership lists, indexed by normalized label order.
+    pub fn communities(&self) -> Vec<Vec<NodeId>> {
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        let mut out: Vec<Vec<NodeId>> = Vec::new();
+        for (u, &l) in self.labels.iter().enumerate() {
+            let idx = *map.entry(l).or_insert_with(|| {
+                out.push(Vec::new());
+                (out.len() - 1) as u32
+            });
+            out[idx as usize].push(u as NodeId);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Partition::singletons(3).community_count(), 3);
+        assert_eq!(Partition::whole(3).community_count(), 1);
+        assert_eq!(Partition::whole(0).len(), 0);
+        assert!(Partition::from_labels(vec![]).is_empty());
+    }
+
+    #[test]
+    fn normalize_compacts() {
+        let mut p = Partition::from_labels(vec![9, 9, 4, 9, 4, 7]);
+        let k = p.normalize();
+        assert_eq!(k, 3);
+        assert_eq!(p.labels(), &[0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn communities_partition_nodes() {
+        let p = Partition::from_labels(vec![5, 2, 5, 2, 2]);
+        let comms = p.communities();
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0], vec![0, 2]);
+        assert_eq!(comms[1], vec![1, 3, 4]);
+        let total: usize = comms.iter().map(Vec::len).sum();
+        assert_eq!(total, p.len());
+    }
+
+    #[test]
+    fn assign_changes_label() {
+        let mut p = Partition::whole(4);
+        p.assign(2, 7);
+        assert_eq!(p.label(2), 7);
+        assert_eq!(p.community_count(), 2);
+    }
+}

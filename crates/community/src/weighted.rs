@@ -1,0 +1,173 @@
+//! A compact weighted undirected graph used by Louvain's aggregation
+//! phase and by PrivGraph's noisy super-graph.
+
+use pgb_graph::{Graph, NodeId};
+
+/// An undirected graph with `f64` edge weights and per-node self-loop
+//  weights (self-loops arise from community aggregation).
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    self_loops: Vec<f64>,
+    /// Total weight `2m`: twice the sum of edge weights plus twice the
+    /// self-loop weights (a self-loop contributes its weight to both
+    /// endpoints, i.e. 2w to the degree of its node — the Louvain
+    /// convention).
+    total: f64,
+}
+
+impl WeightedGraph {
+    /// An empty weighted graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph { adj: vec![Vec::new(); n], self_loops: vec![0.0; n], total: 0.0 }
+    }
+
+    /// Lifts an unweighted [`Graph`] (every edge weight 1).
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut w = WeightedGraph::new(g.node_count());
+        for (u, v) in g.edges() {
+            w.add_edge(u, v, 1.0);
+        }
+        w
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds weight `weight` to the edge `{u, v}` (accumulating if called
+    /// twice); `u == v` accumulates a self-loop.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or `weight` is negative/NaN.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) {
+        assert!(weight >= 0.0 && weight.is_finite(), "invalid weight {weight}");
+        let n = self.node_count();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range {n}");
+        if weight == 0.0 {
+            return;
+        }
+        if u == v {
+            self.self_loops[u as usize] += weight;
+            self.total += 2.0 * weight;
+            return;
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let list = &mut self.adj[a as usize];
+            match list.iter_mut().find(|(x, _)| *x == b) {
+                Some((_, w)) => *w += weight,
+                None => list.push((b, weight)),
+            }
+        }
+        self.total += 2.0 * weight;
+    }
+
+    /// Weighted neighbours of `u` (self-loops excluded).
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[u as usize]
+    }
+
+    /// Self-loop weight at `u`.
+    pub fn self_loop(&self, u: NodeId) -> f64 {
+        self.self_loops[u as usize]
+    }
+
+    /// Weighted degree of `u`: incident edge weights plus twice the
+    /// self-loop weight.
+    pub fn weighted_degree(&self, u: NodeId) -> f64 {
+        let nbr: f64 = self.adj[u as usize].iter().map(|&(_, w)| w).sum();
+        nbr + 2.0 * self.self_loops[u as usize]
+    }
+
+    /// Total weight `2m`.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Aggregates nodes by `labels` (values must be `0..k`): returns the
+    /// `k`-node graph whose edge weights sum the inter-community weights
+    /// and whose self-loops sum the intra-community weights.
+    pub fn aggregate(&self, labels: &[u32], k: usize) -> WeightedGraph {
+        assert_eq!(labels.len(), self.node_count(), "label vector length mismatch");
+        let mut out = WeightedGraph::new(k);
+        for u in 0..self.node_count() as u32 {
+            let cu = labels[u as usize];
+            if self.self_loops[u as usize] > 0.0 {
+                out.add_edge(cu, cu, self.self_loops[u as usize]);
+            }
+            for &(v, w) in &self.adj[u as usize] {
+                if v > u {
+                    let cv = labels[v as usize];
+                    if cu == cv {
+                        out.add_edge(cu, cu, w);
+                    } else {
+                        out.add_edge(cu, cv, w);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_graph::Graph;
+
+    #[test]
+    fn from_graph_weights() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let w = WeightedGraph::from_graph(&g);
+        assert_eq!(w.total_weight(), 4.0);
+        assert_eq!(w.weighted_degree(1), 2.0);
+        assert_eq!(w.weighted_degree(0), 1.0);
+    }
+
+    #[test]
+    fn add_edge_accumulates() {
+        let mut w = WeightedGraph::new(2);
+        w.add_edge(0, 1, 1.5);
+        w.add_edge(1, 0, 0.5);
+        assert_eq!(w.neighbors(0), &[(1, 2.0)]);
+        assert_eq!(w.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn self_loops_count_double() {
+        let mut w = WeightedGraph::new(1);
+        w.add_edge(0, 0, 3.0);
+        assert_eq!(w.self_loop(0), 3.0);
+        assert_eq!(w.weighted_degree(0), 6.0);
+        assert_eq!(w.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let mut w = WeightedGraph::new(2);
+        w.add_edge(0, 1, 0.0);
+        assert!(w.neighbors(0).is_empty());
+        assert_eq!(w.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_preserves_total_weight() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let w = WeightedGraph::from_graph(&g);
+        let agg = w.aggregate(&[0, 0, 1, 1], 2);
+        assert_eq!(agg.node_count(), 2);
+        // Intra: {0,1} and {2,3} → self-loops of weight 1 each.
+        assert_eq!(agg.self_loop(0), 1.0);
+        assert_eq!(agg.self_loop(1), 1.0);
+        // Inter: {1,2} and {3,0} → edge weight 2.
+        assert_eq!(agg.neighbors(0), &[(1, 2.0)]);
+        assert_eq!(agg.total_weight(), w.total_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        WeightedGraph::new(2).add_edge(0, 1, -1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The query → error-metric pairing the benchmark fixes for fairness
+//! (principle U2): RE for most scalars, KL for the degree and distance
+//! distributions, NMI for community detection, MAE for eigenvector
+//! centrality — exactly the assignment of §V-D.
+
+use pgb_metrics::{kl_divergence, mean_absolute_error, normalized_mutual_information, relative_error};
+use pgb_queries::{Query, QueryValue};
+
+/// The error metric used to compare a query's true and synthetic values.
+///
+/// All metrics are oriented so that **lower is better** (NMI is stored as
+/// `1 − NMI`), which lets Definition 5/6 scoring treat every query
+/// uniformly as a minimisation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorMetric {
+    /// Relative error (E1).
+    RelativeError,
+    /// Kullback–Leibler divergence (E3).
+    KlDivergence,
+    /// `1 − NMI` (E11, inverted so lower is better).
+    OneMinusNmi,
+    /// Mean absolute error (E7).
+    Mae,
+}
+
+impl ErrorMetric {
+    /// Display name (matching the paper's figure axes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorMetric::RelativeError => "RE",
+            ErrorMetric::KlDivergence => "KL",
+            ErrorMetric::OneMinusNmi => "1-NMI",
+            ErrorMetric::Mae => "MAE",
+        }
+    }
+}
+
+/// The metric §V-D assigns to each query: RE for `|V|`, `|E|`, △, d̄, dσ,
+/// lmax, l̄, GCC, ACC, Mod, Ass; KL for the degree distribution **and**
+/// the distance distribution ("we use KL for l instead of RE"); NMI for
+/// CD; MAE for EVC.
+pub fn metric_for(query: Query) -> ErrorMetric {
+    match query {
+        Query::DegreeDistribution | Query::DistanceDistribution => ErrorMetric::KlDivergence,
+        Query::CommunityDetection => ErrorMetric::OneMinusNmi,
+        Query::EigenvectorCentrality => ErrorMetric::Mae,
+        _ => ErrorMetric::RelativeError,
+    }
+}
+
+/// Computes the (lower-is-better) error between the true and synthetic
+/// value of `query`.
+///
+/// Mismatched node counts are reconciled the way the reference evaluation
+/// code does: centrality vectors are zero-padded to the longer length,
+/// and synthetic partitions are truncated / extended with fresh singleton
+/// labels to the true node count.
+///
+/// # Panics
+/// Panics if the value shapes do not match the query's shape.
+pub fn compute_error(query: Query, true_value: &QueryValue, synthetic: &QueryValue) -> f64 {
+    match (metric_for(query), true_value, synthetic) {
+        (ErrorMetric::RelativeError, QueryValue::Scalar(t), QueryValue::Scalar(s)) => {
+            relative_error(*t, *s)
+        }
+        (ErrorMetric::KlDivergence, QueryValue::Distribution(t), QueryValue::Distribution(s)) => {
+            kl_divergence(t, s)
+        }
+        (ErrorMetric::OneMinusNmi, QueryValue::Partition(t), QueryValue::Partition(s)) => {
+            let aligned = align_partition(s, t.len());
+            1.0 - normalized_mutual_information(t, &aligned)
+        }
+        (ErrorMetric::Mae, QueryValue::Vector(t), QueryValue::Vector(s)) => {
+            let len = t.len().max(s.len());
+            let pad = |v: &[f64]| {
+                let mut out = v.to_vec();
+                out.resize(len, 0.0);
+                out
+            };
+            if len == 0 {
+                0.0
+            } else {
+                mean_absolute_error(&pad(t), &pad(s))
+            }
+        }
+        (metric, t, s) => panic!(
+            "value shapes {t:?} / {s:?} do not match metric {metric:?} for query {query:?}"
+        ),
+    }
+}
+
+/// Truncates or extends a label vector to `len`; new nodes become fresh
+/// singleton communities.
+fn align_partition(labels: &[u32], len: usize) -> Vec<u32> {
+    let mut out: Vec<u32> = labels.iter().take(len).copied().collect();
+    let mut fresh = labels.iter().copied().max().unwrap_or(0);
+    while out.len() < len {
+        fresh = fresh.wrapping_add(1);
+        out.push(fresh);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_matches_paper() {
+        assert_eq!(metric_for(Query::NodeCount), ErrorMetric::RelativeError);
+        assert_eq!(metric_for(Query::Triangles), ErrorMetric::RelativeError);
+        assert_eq!(metric_for(Query::DegreeDistribution), ErrorMetric::KlDivergence);
+        assert_eq!(metric_for(Query::DistanceDistribution), ErrorMetric::KlDivergence);
+        assert_eq!(metric_for(Query::CommunityDetection), ErrorMetric::OneMinusNmi);
+        assert_eq!(metric_for(Query::EigenvectorCentrality), ErrorMetric::Mae);
+        assert_eq!(metric_for(Query::Modularity), ErrorMetric::RelativeError);
+    }
+
+    #[test]
+    fn scalar_error() {
+        let e = compute_error(
+            Query::EdgeCount,
+            &QueryValue::Scalar(100.0),
+            &QueryValue::Scalar(90.0),
+        );
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_values_zero_error() {
+        let d = QueryValue::Distribution(vec![0.5, 0.5]);
+        assert!(compute_error(Query::DegreeDistribution, &d, &d).abs() < 1e-6);
+        let p = QueryValue::Partition(vec![0, 0, 1, 1]);
+        assert!(compute_error(Query::CommunityDetection, &p, &p).abs() < 1e-9);
+        let v = QueryValue::Vector(vec![0.3, 0.4]);
+        assert!(compute_error(Query::EigenvectorCentrality, &v, &v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_alignment_handles_size_mismatch() {
+        let t = QueryValue::Partition(vec![0, 0, 1, 1]);
+        let s = QueryValue::Partition(vec![0, 0]); // synthetic graph shrank
+        let e = compute_error(Query::CommunityDetection, &t, &s);
+        assert!((0.0..=1.0).contains(&e));
+        let s = QueryValue::Partition(vec![0, 0, 1, 1, 2, 2]); // grew
+        let e = compute_error(Query::CommunityDetection, &t, &s);
+        assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn vector_padding() {
+        let t = QueryValue::Vector(vec![1.0, 1.0]);
+        let s = QueryValue::Vector(vec![1.0]);
+        let e = compute_error(Query::EigenvectorCentrality, &t, &s);
+        assert!((e - 0.5).abs() < 1e-12); // |1-1|, |1-0| averaged
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn shape_mismatch_panics() {
+        compute_error(
+            Query::NodeCount,
+            &QueryValue::Scalar(1.0),
+            &QueryValue::Distribution(vec![1.0]),
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! The benchmark runner: executes the (M, G, P) grid, evaluates U, and
+//! averages repeated runs.
+
+use crate::benchmark::metric::{compute_error, metric_for, ErrorMetric};
+use crate::generator::GraphGenerator;
+use pgb_graph::Graph;
+use pgb_queries::{Query, QueryParams, QueryValue};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a benchmark run: the P and U of the 4-tuple plus
+/// execution knobs (M and G are passed to [`run_benchmark`] directly).
+#[derive(Clone, Debug)]
+pub struct BenchmarkConfig {
+    /// The privacy budgets to sweep (the paper: {0.1, 0.5, 1, 2, 5, 10}).
+    pub epsilons: Vec<f64>,
+    /// Repetitions per cell, averaged (the paper: 10).
+    pub repetitions: usize,
+    /// The queries to evaluate (defaults to all 15).
+    pub queries: Vec<Query>,
+    /// Query-evaluation parameters (path mode, power-iteration caps).
+    pub query_params: QueryParams,
+    /// Master seed; every cell derives an independent deterministic
+    /// stream from it.
+    pub seed: u64,
+    /// Worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            epsilons: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
+            repetitions: 10,
+            queries: Query::ALL.to_vec(),
+            query_params: QueryParams::default(),
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// One averaged benchmark cell: an (algorithm, dataset, ε, query) tuple
+/// with its mean error over the repetitions.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutcome {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// The evaluated query.
+    pub query: Query,
+    /// The metric the error is expressed in (lower is better).
+    pub metric: ErrorMetric,
+    /// Mean error over the repetitions.
+    pub mean_error: f64,
+    /// Number of repetitions averaged.
+    pub runs: usize,
+}
+
+/// All outcomes of a benchmark run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchmarkResults {
+    /// One entry per (algorithm, dataset, ε, query).
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Algorithm names in suite order.
+    pub algorithms: Vec<String>,
+    /// Dataset names in input order.
+    pub datasets: Vec<String>,
+    /// The swept ε values.
+    pub epsilons: Vec<f64>,
+    /// The evaluated queries.
+    pub queries: Vec<Query>,
+}
+
+impl BenchmarkResults {
+    /// Looks up a cell's mean error.
+    pub fn error(&self, algorithm: &str, dataset: &str, epsilon: f64, query: Query) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .find(|o| {
+                o.algorithm == algorithm
+                    && o.dataset == dataset
+                    && (o.epsilon - epsilon).abs() < 1e-12
+                    && o.query == query
+            })
+            .map(|o| o.mean_error)
+    }
+
+    /// Renders all outcomes as CSV (`algorithm,dataset,epsilon,query,metric,error,runs`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("algorithm,dataset,epsilon,query,metric,mean_error,runs\n");
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6e},{}\n",
+                o.algorithm,
+                o.dataset,
+                o.epsilon,
+                o.query.symbol(),
+                o.metric.name(),
+                o.mean_error,
+                o.runs
+            ));
+        }
+        out
+    }
+}
+
+/// Derives a deterministic per-cell RNG from the master seed — cells are
+/// independent, so runs are reproducible regardless of thread scheduling.
+fn cell_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize, rep: usize) -> StdRng {
+    let mut h = seed ^ 0xA076_1D64_78BD_642F;
+    for x in [dataset_idx as u64, algo_idx as u64, eps_idx as u64, rep as u64] {
+        h ^= x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h = h.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Evaluates the configured queries on a graph.
+fn evaluate_queries(
+    g: &Graph,
+    queries: &[Query],
+    params: &QueryParams,
+    rng: &mut StdRng,
+) -> Vec<QueryValue> {
+    queries.iter().map(|q| q.evaluate(g, params, rng)).collect()
+}
+
+/// Runs the full benchmark grid: every algorithm × dataset × ε, with
+/// `config.repetitions` generations per cell, all queries evaluated per
+/// generation, and errors averaged.
+///
+/// Work is distributed over `config.threads` workers (generation cells are
+/// independent); results are deterministic for a fixed seed.
+pub fn run_benchmark(
+    algorithms: &[Box<dyn GraphGenerator>],
+    datasets: &[(String, Graph)],
+    config: &BenchmarkConfig,
+) -> BenchmarkResults {
+    // True query values per dataset, computed once.
+    let true_values: Vec<Vec<QueryValue>> = datasets
+        .iter()
+        .enumerate()
+        .map(|(di, (_, g))| {
+            let mut rng = cell_rng(config.seed, di, usize::MAX, 0, 0);
+            evaluate_queries(g, &config.queries, &config.query_params, &mut rng)
+        })
+        .collect();
+
+    // Task grid: (dataset, algorithm, epsilon).
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    for di in 0..datasets.len() {
+        for ai in 0..algorithms.len() {
+            for ei in 0..config.epsilons.len() {
+                tasks.push((di, ai, ei));
+            }
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<ExperimentOutcome>> = Mutex::new(Vec::new());
+    let workers = if config.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        config.threads
+    }
+    .min(tasks.len().max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks.len() {
+                    break;
+                }
+                let (di, ai, ei) = tasks[t];
+                let (dataset_name, graph) = &datasets[di];
+                let algorithm = &algorithms[ai];
+                let epsilon = config.epsilons[ei];
+                let mut error_sums = vec![0.0f64; config.queries.len()];
+                let mut runs = 0usize;
+                for rep in 0..config.repetitions.max(1) {
+                    let mut rng = cell_rng(config.seed, di, ai, ei, rep);
+                    let synthetic = match algorithm.generate(graph, epsilon, &mut rng) {
+                        Ok(g) => g,
+                        Err(_) => continue,
+                    };
+                    let values =
+                        evaluate_queries(&synthetic, &config.queries, &config.query_params, &mut rng);
+                    for (qi, (q, v)) in config.queries.iter().zip(&values).enumerate() {
+                        error_sums[qi] += compute_error(*q, &true_values[di][qi], v);
+                    }
+                    runs += 1;
+                }
+                if runs == 0 {
+                    continue;
+                }
+                let mut local = Vec::with_capacity(config.queries.len());
+                for (qi, q) in config.queries.iter().enumerate() {
+                    local.push(ExperimentOutcome {
+                        algorithm: algorithm.name().to_string(),
+                        dataset: dataset_name.clone(),
+                        epsilon,
+                        query: *q,
+                        metric: metric_for(*q),
+                        mean_error: error_sums[qi] / runs as f64,
+                        runs,
+                    });
+                }
+                outcomes.lock().expect("no panics while holding lock").extend(local);
+            });
+        }
+    })
+    .expect("benchmark worker panicked");
+
+    let mut outcomes = outcomes.into_inner().expect("lock intact");
+    // Deterministic order for reports.
+    outcomes.sort_by(|a, b| {
+        (a.dataset.as_str(), a.algorithm.as_str())
+            .cmp(&(b.dataset.as_str(), b.algorithm.as_str()))
+            .then(a.epsilon.partial_cmp(&b.epsilon).expect("finite ε"))
+            .then(a.query.id().cmp(&b.query.id()))
+    });
+    BenchmarkResults {
+        outcomes,
+        algorithms: algorithms.iter().map(|a| a.name().to_string()).collect(),
+        datasets: datasets.iter().map(|(n, _)| n.clone()).collect(),
+        epsilons: config.epsilons.clone(),
+        queries: config.queries.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dgg, TmF};
+
+    type Setup = (Vec<Box<dyn GraphGenerator>>, Vec<(String, Graph)>, BenchmarkConfig);
+
+    fn tiny_setup() -> Setup {
+        let mut rng = StdRng::seed_from_u64(500);
+        let g = pgb_models::erdos_renyi_gnp(60, 0.1, &mut rng);
+        let algorithms: Vec<Box<dyn GraphGenerator>> =
+            vec![Box::new(TmF::default()), Box::new(Dgg::default())];
+        let datasets = vec![("toy".to_string(), g)];
+        let config = BenchmarkConfig {
+            epsilons: vec![0.5, 5.0],
+            repetitions: 2,
+            queries: vec![Query::EdgeCount, Query::Triangles, Query::DegreeDistribution],
+            seed: 1,
+            threads: 2,
+            ..Default::default()
+        };
+        (algorithms, datasets, config)
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let (algorithms, datasets, config) = tiny_setup();
+        let results = run_benchmark(&algorithms, &datasets, &config);
+        // 2 algorithms × 1 dataset × 2 ε × 3 queries.
+        assert_eq!(results.outcomes.len(), 12);
+        for o in &results.outcomes {
+            assert!(o.mean_error.is_finite(), "{o:?}");
+            assert_eq!(o.runs, 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (algorithms, datasets, mut config) = tiny_setup();
+        config.threads = 1;
+        let a = run_benchmark(&algorithms, &datasets, &config);
+        config.threads = 4;
+        let b = run_benchmark(&algorithms, &datasets, &config);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.algorithm, y.algorithm);
+            assert_eq!(x.query, y.query);
+            assert!((x.mean_error - y.mean_error).abs() < 1e-12, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn error_lookup_and_csv() {
+        let (algorithms, datasets, config) = tiny_setup();
+        let results = run_benchmark(&algorithms, &datasets, &config);
+        let e = results.error("TmF", "toy", 5.0, Query::EdgeCount);
+        assert!(e.is_some());
+        let csv = results.to_csv();
+        assert!(csv.lines().count() == 13); // header + 12 rows
+        assert!(csv.contains("TmF,toy"));
+    }
+
+    #[test]
+    fn tmf_beats_noise_at_high_epsilon_on_edge_count() {
+        let (algorithms, datasets, mut config) = tiny_setup();
+        config.epsilons = vec![10.0];
+        config.repetitions = 4;
+        let results = run_benchmark(&algorithms, &datasets, &config);
+        let tmf = results.error("TmF", "toy", 10.0, Query::EdgeCount).unwrap();
+        // TmF controls |E| directly via m̃, so the RE must be small.
+        assert!(tmf < 0.05, "TmF |E| error {tmf}");
+    }
+}

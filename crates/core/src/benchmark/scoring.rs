@@ -1,0 +1,149 @@
+//! Best-performance scoring: Definition 5 (Table VII) and Definition 6
+//! (Table XII).
+//!
+//! Definition 5: `C_A(G, ε)` counts, over the query set, how often
+//! algorithm `A` achieves the minimum error for dataset `G` at budget
+//! `ε`. Definition 6: `C_A(Qᵢ)` counts, over the (dataset × ε) grid, how
+//! often `A` achieves the minimum for query `Qᵢ`. Ties credit every
+//! minimal algorithm (the paper's Table VII columns sum to more than 15
+//! for exactly this reason).
+
+use crate::benchmark::runner::BenchmarkResults;
+use pgb_queries::Query;
+use std::collections::HashMap;
+
+/// Tolerance for declaring a tie on the minimum error.
+const TIE_EPS: f64 = 1e-12;
+
+/// Definition 5: best-performance counts per (algorithm, dataset, ε).
+/// Returns a map `(algorithm, dataset, ε-index) → count` over the result
+/// set's queries.
+pub fn best_counts_per_case(results: &BenchmarkResults) -> HashMap<(String, String, usize), usize> {
+    let mut counts: HashMap<(String, String, usize), usize> = HashMap::new();
+    for (ei, &eps) in results.epsilons.iter().enumerate() {
+        for dataset in &results.datasets {
+            for &query in &results.queries {
+                credit_winners(results, dataset, eps, query, |algo| {
+                    *counts.entry((algo.to_string(), dataset.clone(), ei)).or_insert(0) += 1;
+                });
+            }
+        }
+    }
+    counts
+}
+
+/// Definition 6: best-performance counts per (algorithm, query) over the
+/// whole (dataset × ε) grid.
+pub fn best_counts_per_query(results: &BenchmarkResults) -> HashMap<(String, Query), usize> {
+    let mut counts: HashMap<(String, Query), usize> = HashMap::new();
+    for &eps in &results.epsilons {
+        for dataset in &results.datasets {
+            for &query in &results.queries {
+                credit_winners(results, dataset, eps, query, |algo| {
+                    *counts.entry((algo.to_string(), query)).or_insert(0) += 1;
+                });
+            }
+        }
+    }
+    counts
+}
+
+/// Finds the minimal-error algorithms for one (dataset, ε, query) cell and
+/// invokes `credit` for each.
+fn credit_winners<F: FnMut(&str)>(
+    results: &BenchmarkResults,
+    dataset: &str,
+    epsilon: f64,
+    query: Query,
+    mut credit: F,
+) {
+    let mut best = f64::INFINITY;
+    let mut cells: Vec<(&str, f64)> = Vec::new();
+    for o in &results.outcomes {
+        if o.dataset == dataset && (o.epsilon - epsilon).abs() < 1e-12 && o.query == query {
+            cells.push((o.algorithm.as_str(), o.mean_error));
+            if o.mean_error < best {
+                best = o.mean_error;
+            }
+        }
+    }
+    if !best.is_finite() {
+        return;
+    }
+    for (algo, err) in cells {
+        if err <= best + TIE_EPS {
+            credit(algo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::metric::{metric_for, ErrorMetric};
+    use crate::benchmark::runner::ExperimentOutcome;
+
+    fn fake_results() -> BenchmarkResults {
+        let mk = |algo: &str, dataset: &str, eps: f64, query: Query, err: f64| ExperimentOutcome {
+            algorithm: algo.into(),
+            dataset: dataset.into(),
+            epsilon: eps,
+            query,
+            metric: metric_for(query),
+            mean_error: err,
+            runs: 1,
+        };
+        BenchmarkResults {
+            outcomes: vec![
+                // ε = 1, dataset D: A wins Q1, ties with B on Q2.
+                mk("A", "D", 1.0, Query::NodeCount, 0.1),
+                mk("B", "D", 1.0, Query::NodeCount, 0.2),
+                mk("A", "D", 1.0, Query::EdgeCount, 0.3),
+                mk("B", "D", 1.0, Query::EdgeCount, 0.3),
+                // ε = 2, dataset D: B wins both.
+                mk("A", "D", 2.0, Query::NodeCount, 0.5),
+                mk("B", "D", 2.0, Query::NodeCount, 0.1),
+                mk("A", "D", 2.0, Query::EdgeCount, 0.5),
+                mk("B", "D", 2.0, Query::EdgeCount, 0.1),
+            ],
+            algorithms: vec!["A".into(), "B".into()],
+            datasets: vec!["D".into()],
+            epsilons: vec![1.0, 2.0],
+            queries: vec![Query::NodeCount, Query::EdgeCount],
+        }
+    }
+
+    #[test]
+    fn definition5_counts_with_ties() {
+        let counts = best_counts_per_case(&fake_results());
+        assert_eq!(counts[&("A".to_string(), "D".to_string(), 0)], 2); // Q1 win + Q2 tie
+        assert_eq!(counts[&("B".to_string(), "D".to_string(), 0)], 1); // Q2 tie
+        assert_eq!(counts[&("B".to_string(), "D".to_string(), 1)], 2);
+        assert!(!counts.contains_key(&("A".to_string(), "D".to_string(), 1)));
+    }
+
+    #[test]
+    fn definition6_counts() {
+        let counts = best_counts_per_query(&fake_results());
+        assert_eq!(counts[&("A".to_string(), Query::NodeCount)], 1);
+        assert_eq!(counts[&("B".to_string(), Query::NodeCount)], 1);
+        assert_eq!(counts[&("A".to_string(), Query::EdgeCount)], 1); // tie at ε=1
+        assert_eq!(counts[&("B".to_string(), Query::EdgeCount)], 2); // tie + win
+    }
+
+    #[test]
+    fn metric_orientation_is_lower_better() {
+        // The scoring assumes every metric is a minimisation; make sure
+        // the metric module keeps that promise for all queries.
+        for q in Query::ALL {
+            let m = metric_for(q);
+            assert!(matches!(
+                m,
+                ErrorMetric::RelativeError
+                    | ErrorMetric::KlDivergence
+                    | ErrorMetric::OneMinusNmi
+                    | ErrorMetric::Mae
+            ));
+        }
+    }
+}

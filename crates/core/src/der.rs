@@ -1,0 +1,253 @@
+//! DER — Density-based Exploration and Reconstruction (Chen, Fung, Yu &
+//! Desai, VLDB Journal 2014).
+//!
+//! Included for the appendix-C comparison (Fig. 7): DER is the baseline
+//! the paper contrasts against TmF and PrivGraph. It explores the
+//! adjacency matrix with a quadtree — each region's 1-count is perturbed
+//! with Laplace noise (regions at one level partition the matrix, so a
+//! level costs one ε share by parallel composition; levels compose
+//! sequentially) — and reconstructs by spreading each leaf's noisy count
+//! uniformly over its cells.
+
+use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use pgb_dp::laplace::sample_laplace;
+use pgb_graph::{Graph, GraphBuilder};
+use rand::{Rng, RngCore};
+
+/// The DER generator.
+#[derive(Clone, Debug)]
+pub struct Der {
+    /// Regions stop splitting once they hold at most this many cells.
+    pub leaf_cells: u64,
+    /// Maximum quadtree depth (also the number of sequential ε shares).
+    pub max_depth: usize,
+}
+
+impl Default for Der {
+    fn default() -> Self {
+        Der { leaf_cells: 256, max_depth: 10 }
+    }
+}
+
+/// A rectangular region of the upper-triangle adjacency matrix.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    r0: u32,
+    r1: u32,
+    c0: u32,
+    c1: u32,
+}
+
+impl Region {
+    /// Number of upper-triangle cells (i < j) inside the region.
+    fn cells(&self) -> u64 {
+        let mut total = 0u64;
+        for i in self.r0..self.r1 {
+            let lo = self.c0.max(i + 1);
+            if lo < self.c1 {
+                total += (self.c1 - lo) as u64;
+            }
+        }
+        total
+    }
+}
+
+/// Count of true edges inside a region (upper-triangle cells only).
+fn region_ones(g: &Graph, region: &Region) -> u64 {
+    let mut count = 0u64;
+    for i in region.r0..region.r1 {
+        let nbrs = g.neighbors(i);
+        let lo = region.c0.max(i + 1);
+        if lo >= region.c1 {
+            continue;
+        }
+        let start = nbrs.partition_point(|&v| v < lo);
+        let end = nbrs.partition_point(|&v| v < region.c1);
+        count += (end - start) as u64;
+    }
+    count
+}
+
+impl GraphGenerator for Der {
+    fn name(&self) -> &'static str {
+        "DER"
+    }
+
+    fn generate(
+        &self,
+        graph: &Graph,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Graph, GenerateError> {
+        check_epsilon(epsilon)?;
+        let n = graph.node_count();
+        if n < 2 {
+            return Ok(Graph::new(n));
+        }
+        let depth_needed =
+            ((n as f64 * n as f64 / self.leaf_cells as f64).log(4.0).ceil() as usize).max(1);
+        let depth = depth_needed.min(self.max_depth.max(1));
+        let eps_level = epsilon / depth as f64;
+
+        let mut b = GraphBuilder::with_capacity(n, graph.edge_count());
+        // Iterative quadtree: (region, remaining_depth, noisy_count).
+        let root = Region { r0: 0, r1: n as u32, c0: 0, c1: n as u32 };
+        let root_count =
+            (region_ones(graph, &root) as f64 + sample_laplace(1.0 / eps_level, rng)).max(0.0);
+        let mut stack = vec![(root, depth.saturating_sub(1), root_count)];
+        while let Some((region, levels_left, noisy)) = stack.pop() {
+            let cells = region.cells();
+            if cells == 0 || noisy < 0.5 {
+                continue;
+            }
+            let full = noisy >= cells as f64 * 0.98;
+            if levels_left == 0 || cells <= self.leaf_cells || full {
+                // Leaf: spread the (clamped) count uniformly.
+                let count = (noisy.round() as u64).min(cells);
+                sample_region_cells(&region, count, cells, rng, &mut b);
+                continue;
+            }
+            // Split into quadrants; each child gets a fresh noisy count at
+            // the next level's budget.
+            let rm = (region.r0 + region.r1) / 2;
+            let cm = (region.c0 + region.c1) / 2;
+            for (r0, r1, c0, c1) in [
+                (region.r0, rm, region.c0, cm),
+                (region.r0, rm, cm, region.c1),
+                (rm, region.r1, region.c0, cm),
+                (rm, region.r1, cm, region.c1),
+            ] {
+                if r0 >= r1 || c0 >= c1 {
+                    continue;
+                }
+                let child = Region { r0, r1, c0, c1 };
+                if child.cells() == 0 {
+                    continue;
+                }
+                let child_noisy = (region_ones(graph, &child) as f64
+                    + sample_laplace(1.0 / eps_level, rng))
+                .max(0.0);
+                stack.push((child, levels_left - 1, child_noisy));
+            }
+        }
+        Ok(b.build().expect("ids bounded by n"))
+    }
+}
+
+/// Samples `count` distinct upper-triangle cells of `region` uniformly and
+/// pushes them as edges.
+fn sample_region_cells(
+    region: &Region,
+    count: u64,
+    cells: u64,
+    rng: &mut dyn RngCore,
+    b: &mut GraphBuilder,
+) {
+    if count == 0 {
+        return;
+    }
+    if count * 2 >= cells {
+        // Dense: enumerate and subsample.
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(cells as usize);
+        for i in region.r0..region.r1 {
+            let lo = region.c0.max(i + 1);
+            for j in lo..region.c1 {
+                all.push((i, j));
+            }
+        }
+        for idx in 0..(count as usize).min(all.len()) {
+            let j = rng.gen_range(idx..all.len());
+            all.swap(idx, j);
+            b.push(all[idx].0, all[idx].1);
+        }
+        return;
+    }
+    // Sparse: rejection-sample distinct cells.
+    let mut seen = std::collections::HashSet::with_capacity(count as usize * 2);
+    let mut placed = 0u64;
+    let mut attempts = 0u64;
+    let max_attempts = count * 30 + 200;
+    while placed < count && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.gen_range(region.r0..region.r1);
+        let lo = region.c0.max(i + 1);
+        if lo >= region.c1 {
+            continue;
+        }
+        let j = rng.gen_range(lo..region.c1);
+        if seen.insert((i, j)) {
+            b.push(i, j);
+            placed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn region_cell_arithmetic() {
+        // Full 4×4 upper triangle: 6 cells.
+        let r = Region { r0: 0, r1: 4, c0: 0, c1: 4 };
+        assert_eq!(r.cells(), 6);
+        // Off-diagonal block rows 0..2 × cols 2..4: all 4 cells (i < j).
+        let r = Region { r0: 0, r1: 2, c0: 2, c1: 4 };
+        assert_eq!(r.cells(), 4);
+        // Below-diagonal block has no upper-triangle cells.
+        let r = Region { r0: 2, r1: 4, c0: 0, c1: 2 };
+        assert_eq!(r.cells(), 0);
+    }
+
+    #[test]
+    fn region_ones_counts_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 3), (2, 3)]).unwrap();
+        let all = Region { r0: 0, r1: 4, c0: 0, c1: 4 };
+        assert_eq!(region_ones(&g, &all), 3);
+        let top_right = Region { r0: 0, r1: 2, c0: 2, c1: 4 };
+        assert_eq!(region_ones(&g, &top_right), 1); // (0,3)
+    }
+
+    #[test]
+    fn output_valid_and_edge_count_reasonable() {
+        let mut rng = StdRng::seed_from_u64(460);
+        let g = pgb_models::erdos_renyi_gnp(200, 0.05, &mut rng);
+        let out = Der::default().generate(&g, 5.0, &mut rng).unwrap();
+        assert_eq!(out.node_count(), 200);
+        assert!(out.check_invariants());
+        let (m0, m1) = (g.edge_count() as f64, out.edge_count() as f64);
+        assert!((m1 - m0).abs() / m0 < 0.5, "m0 {m0} m1 {m1}");
+    }
+
+    #[test]
+    fn dense_region_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(461);
+        // A near-complete small graph: DER should keep it dense.
+        let mut edges = Vec::new();
+        for i in 0..20u32 {
+            for j in (i + 1)..20 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(20, edges).unwrap();
+        let out = Der::default().generate(&g, 10.0, &mut rng).unwrap();
+        assert!(out.edge_count() as f64 > 0.8 * g.edge_count() as f64);
+    }
+
+    #[test]
+    fn low_epsilon_valid() {
+        let mut rng = StdRng::seed_from_u64(462);
+        let g = pgb_models::erdos_renyi_gnp(100, 0.05, &mut rng);
+        let out = Der::default().generate(&g, 0.1, &mut rng).unwrap();
+        assert!(out.check_invariants());
+    }
+
+    #[test]
+    fn tiny_graphs_ok() {
+        let mut rng = StdRng::seed_from_u64(463);
+        assert_eq!(Der::default().generate(&Graph::new(0), 1.0, &mut rng).unwrap().node_count(), 0);
+        assert_eq!(Der::default().generate(&Graph::new(1), 1.0, &mut rng).unwrap().node_count(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The [`GraphGenerator`] trait every PGB mechanism implements, and the
+//! error type shared by them.
+
+use pgb_graph::Graph;
+use rand::RngCore;
+use std::fmt;
+
+/// Errors a generation run can produce.
+#[derive(Debug)]
+pub enum GenerateError {
+    /// The privacy budget was non-positive or non-finite.
+    InvalidEpsilon(f64),
+    /// The input graph is too small for the mechanism's representation
+    /// (e.g. PrivHRG needs at least 2 nodes for a dendrogram).
+    GraphTooSmall {
+        /// Nodes required by the mechanism.
+        required: usize,
+        /// Nodes in the input.
+        actual: usize,
+    },
+    /// Internal budget accounting failed (a bug in the mechanism's split).
+    Budget(pgb_dp::BudgetError),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::InvalidEpsilon(e) => write!(f, "invalid privacy budget ε = {e}"),
+            GenerateError::GraphTooSmall { required, actual } => {
+                write!(f, "input graph has {actual} nodes, mechanism requires {required}")
+            }
+            GenerateError::Budget(e) => write!(f, "budget accounting error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<pgb_dp::BudgetError> for GenerateError {
+    fn from(e: pgb_dp::BudgetError) -> Self {
+        GenerateError::Budget(e)
+    }
+}
+
+/// A differentially private synthetic-graph generation algorithm.
+///
+/// Implementations follow the paper's common framework (Fig. 1):
+/// *representation* of the input graph, *perturbation* under the given ε
+/// (Edge CDP), and *construction* of a synthetic graph. The trait is
+/// object-safe so the benchmark can hold a heterogeneous suite.
+pub trait GraphGenerator: Send + Sync {
+    /// Short display name, matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The δ of the guarantee: 0 for pure ε-Edge-CDP mechanisms, 0.01 for
+    /// the smooth-sensitivity mechanisms (DP-dK, PrivSKG), as in §V-C.
+    fn delta(&self) -> f64 {
+        0.0
+    }
+
+    /// Generates a synthetic graph from `graph` under `epsilon`-Edge CDP
+    /// (or (`epsilon`, [`GraphGenerator::delta`])-Edge CDP).
+    fn generate(
+        &self,
+        graph: &Graph,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Graph, GenerateError>;
+}
+
+/// Validates the privacy budget common to all mechanisms.
+pub(crate) fn check_epsilon(epsilon: f64) -> Result<(), GenerateError> {
+    if epsilon > 0.0 && epsilon.is_finite() {
+        Ok(())
+    } else {
+        Err(GenerateError::InvalidEpsilon(epsilon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(check_epsilon(0.5).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(-1.0).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GenerateError::GraphTooSmall { required: 2, actual: 0 };
+        assert!(e.to_string().contains("requires 2"));
+        let e = GenerateError::InvalidEpsilon(-1.0);
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based tests over the whole algorithm suite: any mechanism, on
+//! any random graph, at any reasonable ε, must return a structurally
+//! valid simple graph — no panics, no invariant violations.
+
+use pgb_core::{standard_suite, Der, GraphGenerator};
+use pgb_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn raw_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..150))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn suite_outputs_always_valid(
+        (n, edges) in raw_edges(),
+        eps_exp in -2i32..4,
+        seed in 0u64..1000,
+    ) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        let epsilon = 10f64.powi(eps_exp) * 2.0;
+        for algo in standard_suite() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = algo
+                .generate(&g, epsilon, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed at ε={epsilon}: {e}", algo.name()));
+            prop_assert!(
+                out.check_invariants(),
+                "{} produced an invalid graph at ε={epsilon}",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn der_outputs_always_valid(
+        (n, edges) in raw_edges(),
+        seed in 0u64..1000,
+    ) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = Der::default().generate(&g, 1.0, &mut rng).unwrap();
+        prop_assert!(out.check_invariants());
+        prop_assert_eq!(out.node_count(), n);
+    }
+}

@@ -1,0 +1,38 @@
+//! P2P-network stand-in (Gnutella: |V| = 22687, |E| ≈ 54.7k,
+//! ACC ≈ 0.005).
+//!
+//! Gnutella overlays have mildly heavy-tailed degrees and essentially no
+//! clustering (peers connect to strangers). A configuration-model draw
+//! over a truncated power-law degree sequence reproduces both properties.
+
+use crate::social::power_law_degrees;
+use pgb_graph::Graph;
+use pgb_models::configuration_model;
+use rand::Rng;
+
+/// Generates the Gnutella-like P2P graph.
+pub fn gnutella_like<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = 22_687usize;
+    // Mild tail (many leaf peers, ultrapeers up to ~90 connections).
+    let degrees = power_law_degrees(n, 1.9, 1, 90, 54_705, rng);
+    configuration_model(&degrees, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_queries::clustering::average_clustering;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_table_vi_shape() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let g = gnutella_like(&mut rng);
+        assert_eq!(g.node_count(), 22_687);
+        let m = g.edge_count() as f64;
+        assert!((m - 54_705.0).abs() / 54_705.0 < 0.1, "edges {m}");
+        let acc = average_clustering(&g);
+        assert!(acc < 0.02, "ACC {acc}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Social and web stand-ins.
+//!
+//! * Facebook (|V| = 4039, |E| ≈ 88k, ACC ≈ 0.61): dense ego-network
+//!   communities. Generated as a union of Watts–Strogatz-like dense
+//!   communities (very high internal clustering) joined by sparse random
+//!   inter-community edges.
+//! * Wiki-Vote (|V| = 7115, |E| ≈ 104k, ACC ≈ 0.14): heavy-tailed degrees
+//!   with moderate clustering. Generated with BTER over a power-law
+//!   degree sequence.
+
+use pgb_graph::{Graph, GraphBuilder};
+use pgb_models::{bter, BterParams, CcdSpec};
+use rand::Rng;
+
+/// Samples a truncated discrete power-law degree sequence with the given
+/// exponent, support `[d_min, d_max]`, scaled so the sequence sums to
+/// approximately `2 × target_edges`.
+pub fn power_law_degrees<R: Rng + ?Sized>(
+    n: usize,
+    exponent: f64,
+    d_min: u32,
+    d_max: u32,
+    target_edges: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(d_min >= 1 && d_min <= d_max, "invalid degree range");
+    // Inverse-CDF sampling of P(d) ∝ d^(−exponent) over [d_min, d_max].
+    let weights: Vec<f64> =
+        (d_min..=d_max).map(|d| (d as f64).powf(-exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut degrees: Vec<u32> = (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen_range(0.0f64..1.0);
+            let idx = cdf.partition_point(|&c| c < r);
+            d_min + idx.min(cdf.len() - 1) as u32
+        })
+        .collect();
+    // Rescale to the target edge mass.
+    let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
+    let scale = (2.0 * target_edges as f64) / sum as f64;
+    for d in &mut degrees {
+        *d = (((*d as f64) * scale).round() as u32).clamp(1, n as u32 - 1);
+    }
+    degrees
+}
+
+/// Facebook-like generator: ~55 dense communities with power-law-ish
+/// sizes, each internally a near-clique neighbourhood (ring-plus-chords),
+/// plus sparse inter-community edges.
+pub fn facebook_like<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = 4_039usize;
+    // Community size profile: a few hubs of ~350, tail of ~40.
+    let mut sizes = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let s = if sizes.len() < 9 {
+            rng.gen_range(260..=330)
+        } else {
+            rng.gen_range(25..=90)
+        };
+        let s = s.min(remaining);
+        sizes.push(s);
+        remaining -= s;
+    }
+    let mut b = GraphBuilder::with_capacity(n, 90_000);
+    let mut base = 0usize;
+    let mut communities: Vec<(usize, usize)> = Vec::new();
+    for &s in &sizes {
+        communities.push((base, s));
+        // Internal structure: each node links its k nearest ring
+        // neighbours — clustering ≈ 3(k−2)/(4(k−1)) ≈ 0.7 for the dense
+        // communities, matching ego-network cores.
+        if s >= 3 {
+            let k = (0.098 * s as f64).ceil() as usize;
+            let k = k.clamp(2, s - 1);
+            for i in 0..s {
+                for off in 1..=k {
+                    let j = (i + off) % s;
+                    if i != j {
+                        b.push((base + i) as u32, (base + j) as u32);
+                    }
+                }
+            }
+        }
+        base += s;
+    }
+    // Sparse inter-community edges (~4% of total mass).
+    for _ in 0..3_500 {
+        let (b1, s1) = communities[rng.gen_range(0..communities.len())];
+        let (b2, s2) = communities[rng.gen_range(0..communities.len())];
+        if b1 == b2 {
+            continue;
+        }
+        let u = (b1 + rng.gen_range(0..s1)) as u32;
+        let v = (b2 + rng.gen_range(0..s2)) as u32;
+        b.push(u, v);
+    }
+    b.build().expect("ids bounded by n")
+}
+
+/// Wiki-Vote-like generator: BTER over a heavy-tailed degree sequence
+/// with a moderately decaying clustering profile.
+pub fn wiki_vote_like<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = 7_115usize;
+    let degrees = power_law_degrees(n, 1.55, 1, 300, 108_000, rng);
+    bter(
+        &degrees,
+        &BterParams { ccd: CcdSpec::Decaying { c_max: 0.05, decay: 0.55 } },
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_queries::clustering::average_clustering;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_degrees_hit_edge_mass() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = power_law_degrees(5_000, 2.0, 2, 400, 50_000, &mut rng);
+        let sum: u64 = d.iter().map(|&x| x as u64).sum();
+        assert!((sum as f64 - 100_000.0).abs() / 100_000.0 < 0.05, "sum {sum}");
+        assert!(d.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn facebook_matches_table_vi_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = facebook_like(&mut rng);
+        assert_eq!(g.node_count(), 4_039);
+        let m = g.edge_count() as f64;
+        assert!((m - 88_234.0).abs() / 88_234.0 < 0.15, "edges {m}");
+        let acc = average_clustering(&g);
+        assert!((0.5..=0.72).contains(&acc), "ACC {acc}");
+    }
+
+    #[test]
+    fn wiki_vote_matches_table_vi_shape() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = wiki_vote_like(&mut rng);
+        assert_eq!(g.node_count(), 7_115);
+        let m = g.edge_count() as f64;
+        assert!((m - 103_689.0).abs() / 103_689.0 < 0.2, "edges {m}");
+        let acc = average_clustering(&g);
+        assert!((0.08..=0.22).contains(&acc), "ACC {acc}");
+        // Heavy tail: the hub degree dwarfs the average (~29).
+        assert!(g.max_degree() > 150, "max degree {}", g.max_degree());
+    }
+}

@@ -1,0 +1,262 @@
+//! Privacy parameters and budget accounting.
+//!
+//! PGB compares all algorithms at identical total budgets (principle P of
+//! the 4-tuple), so every algorithm in `pgb-core` draws its per-phase ε
+//! shares through a [`Budget`], which enforces sequential composition:
+//! spent shares must sum to at most the total.
+
+use std::fmt;
+
+/// A privacy guarantee: ε-DP when `delta == 0`, (ε, δ)-DP otherwise.
+///
+/// The benchmark sets δ = 0.01 for DP-dK and PrivSKG (following the
+/// original papers) and δ = 0 for everything else.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyParams {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyParams {
+    /// Pure ε-DP parameters. Fails unless `0 < ε` and `ε` is finite.
+    pub fn pure(epsilon: f64) -> Result<Self, BudgetError> {
+        Self::approx(epsilon, 0.0)
+    }
+
+    /// (ε, δ)-DP parameters. Fails unless `0 < ε < ∞` and `0 ≤ δ < 1`.
+    pub fn approx(epsilon: f64, delta: f64) -> Result<Self, BudgetError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(BudgetError::InvalidEpsilon(epsilon));
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(BudgetError::InvalidDelta(delta));
+        }
+        Ok(PrivacyParams { epsilon, delta })
+    }
+
+    /// The ε component.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The δ component (0 for pure DP).
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Whether this is pure ε-DP.
+    #[inline]
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+}
+
+impl fmt::Display for PrivacyParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pure() {
+            write!(f, "ε={}", self.epsilon)
+        } else {
+            write!(f, "(ε={}, δ={})", self.epsilon, self.delta)
+        }
+    }
+}
+
+/// Errors from privacy-parameter validation and budget accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetError {
+    /// ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// δ must lie in `[0, 1)`.
+    InvalidDelta(f64),
+    /// A spend would exceed the remaining budget.
+    Exhausted {
+        /// ε requested by the spend.
+        requested: f64,
+        /// ε still available.
+        remaining: f64,
+    },
+    /// Budget split weights must be positive.
+    InvalidSplit,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::InvalidEpsilon(e) => write!(f, "invalid epsilon {e}"),
+            BudgetError::InvalidDelta(d) => write!(f, "invalid delta {d}"),
+            BudgetError::Exhausted { requested, remaining } => {
+                write!(f, "budget exhausted: requested ε={requested}, remaining ε={remaining}")
+            }
+            BudgetError::InvalidSplit => write!(f, "split weights must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Tracks ε consumption under sequential composition.
+///
+/// ```
+/// use pgb_dp::budget::Budget;
+///
+/// let mut b = Budget::new(1.0).unwrap();
+/// let phase1 = b.spend(0.4).unwrap();
+/// let phase2 = b.spend_remaining();
+/// assert!((phase1 - 0.4).abs() < 1e-12);
+/// assert!((phase2 - 0.6).abs() < 1e-12);
+/// assert!(b.spend(0.1).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Budget {
+    total: f64,
+    spent: f64,
+}
+
+/// Slack used when comparing accumulated floating-point ε spends.
+const EPS_SLACK: f64 = 1e-9;
+
+impl Budget {
+    /// A budget with `total` ε. Fails unless `0 < total < ∞`.
+    pub fn new(total: f64) -> Result<Self, BudgetError> {
+        if !(total > 0.0 && total.is_finite()) {
+            return Err(BudgetError::InvalidEpsilon(total));
+        }
+        Ok(Budget { total, spent: 0.0 })
+    }
+
+    /// Total ε of the budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε already consumed.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Consumes `epsilon` from the budget and returns it, or errors if the
+    /// remainder is insufficient.
+    pub fn spend(&mut self, epsilon: f64) -> Result<f64, BudgetError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(BudgetError::InvalidEpsilon(epsilon));
+        }
+        if self.spent + epsilon > self.total + EPS_SLACK {
+            return Err(BudgetError::Exhausted { requested: epsilon, remaining: self.remaining() });
+        }
+        self.spent += epsilon;
+        Ok(epsilon)
+    }
+
+    /// Consumes and returns everything left. Returns 0.0 if already empty —
+    /// callers that require a positive share should check.
+    pub fn spend_remaining(&mut self) -> f64 {
+        let r = self.remaining();
+        self.spent = self.total;
+        r
+    }
+
+    /// Splits the *entire* budget proportionally to `weights`, consuming it.
+    ///
+    /// This is how multi-phase algorithms (PrivGraph, PrivHRG, TmF) divide
+    /// their ε: the shares sum to the total by construction, so sequential
+    /// composition gives ε-DP overall.
+    pub fn split(&mut self, weights: &[f64]) -> Result<Vec<f64>, BudgetError> {
+        if weights.is_empty() || weights.iter().any(|&w| !(w > 0.0 && w.is_finite())) {
+            return Err(BudgetError::InvalidSplit);
+        }
+        let remaining = self.remaining();
+        if remaining <= 0.0 {
+            return Err(BudgetError::Exhausted { requested: 0.0, remaining });
+        }
+        let sum: f64 = weights.iter().sum();
+        let shares: Vec<f64> = weights.iter().map(|w| remaining * w / sum).collect();
+        self.spent = self.total;
+        Ok(shares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_params_validate() {
+        assert!(PrivacyParams::pure(1.0).is_ok());
+        assert!(PrivacyParams::pure(0.0).is_err());
+        assert!(PrivacyParams::pure(-1.0).is_err());
+        assert!(PrivacyParams::pure(f64::INFINITY).is_err());
+        assert!(PrivacyParams::pure(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn approx_params_validate_delta() {
+        assert!(PrivacyParams::approx(1.0, 0.01).is_ok());
+        assert!(PrivacyParams::approx(1.0, 1.0).is_err());
+        assert!(PrivacyParams::approx(1.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PrivacyParams::pure(2.0).unwrap().to_string(), "ε=2");
+        assert_eq!(PrivacyParams::approx(2.0, 0.01).unwrap().to_string(), "(ε=2, δ=0.01)");
+    }
+
+    #[test]
+    fn spend_tracks_and_overdraw_errors() {
+        let mut b = Budget::new(1.0).unwrap();
+        b.spend(0.5).unwrap();
+        assert!((b.remaining() - 0.5).abs() < 1e-12);
+        let err = b.spend(0.6).unwrap_err();
+        assert!(matches!(err, BudgetError::Exhausted { .. }));
+        // The failed spend must not consume anything.
+        assert!((b.remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spend_rejects_nonpositive() {
+        let mut b = Budget::new(1.0).unwrap();
+        assert!(b.spend(0.0).is_err());
+        assert!(b.spend(-0.5).is_err());
+    }
+
+    #[test]
+    fn exact_total_spend_allowed_despite_fp() {
+        let mut b = Budget::new(1.0).unwrap();
+        for _ in 0..10 {
+            b.spend(0.1).unwrap(); // 10 × 0.1 accumulates fp error
+        }
+        assert!(b.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn split_consumes_everything() {
+        let mut b = Budget::new(2.0).unwrap();
+        let shares = b.split(&[1.0, 3.0]).unwrap();
+        assert!((shares[0] - 0.5).abs() < 1e-12);
+        assert!((shares[1] - 1.5).abs() < 1e-12);
+        assert_eq!(b.remaining(), 0.0);
+    }
+
+    #[test]
+    fn split_after_spend_uses_remainder() {
+        let mut b = Budget::new(1.0).unwrap();
+        b.spend(0.2).unwrap();
+        let shares = b.split(&[1.0, 1.0]).unwrap();
+        assert!((shares[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_validates_weights() {
+        let mut b = Budget::new(1.0).unwrap();
+        assert!(b.split(&[]).is_err());
+        assert!(b.split(&[1.0, 0.0]).is_err());
+        assert!(b.split(&[1.0, -1.0]).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Warner's randomized response (JASA 1965) for single bits.
+//!
+//! Keeping a bit with probability `e^ε / (1 + e^ε)` and flipping it
+//! otherwise satisfies ε-DP for that bit. Applied to adjacency-vector
+//! entries it is the canonical Edge-LDP primitive; the paper's §IV-B notes
+//! its density problem on sparse graphs, which the `density_inflation`
+//! helper quantifies.
+
+use rand::Rng;
+
+/// Probability of reporting the true bit under ε-RR.
+pub fn rr_keep_probability(epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    let e = epsilon.exp();
+    e / (1.0 + e)
+}
+
+/// Probability of flipping the bit under ε-RR.
+pub fn rr_flip_probability(epsilon: f64) -> f64 {
+    1.0 - rr_keep_probability(epsilon)
+}
+
+/// Applies ε-randomized response to one bit.
+pub fn randomized_response<R: Rng + ?Sized>(bit: bool, epsilon: f64, rng: &mut R) -> bool {
+    if rng.gen_bool(rr_keep_probability(epsilon)) {
+        bit
+    } else {
+        !bit
+    }
+}
+
+/// Unbiased estimator inverting RR aggregates: given `noisy_ones` positive
+/// reports out of `total` randomized bits, estimates the true number of
+/// ones.
+pub fn rr_unbias(noisy_ones: f64, total: f64, epsilon: f64) -> f64 {
+    let p = rr_keep_probability(epsilon);
+    // E[noisy] = p·ones + (1 − p)(total − ones)  ⇒  solve for ones.
+    (noisy_ones - (1.0 - p) * total) / (2.0 * p - 1.0)
+}
+
+/// Expected edge count after applying RR to every cell of an `n`-node
+/// graph's adjacency upper triangle with `m` true edges — the "density
+/// problem": for sparse graphs this is dominated by flipped zeros.
+pub fn density_inflation(n: usize, m: usize, epsilon: f64) -> f64 {
+    let cells = n as f64 * (n as f64 - 1.0) / 2.0;
+    let p = rr_keep_probability(epsilon);
+    m as f64 * p + (cells - m as f64) * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keep_probability_monotone_in_epsilon() {
+        assert!(rr_keep_probability(0.1) < rr_keep_probability(1.0));
+        assert!(rr_keep_probability(1.0) < rr_keep_probability(5.0));
+        assert!((rr_keep_probability(1.0) - 1.0f64.exp() / (1.0 + 1.0f64.exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_plus_flip_is_one() {
+        for eps in [0.1, 1.0, 3.0] {
+            assert!((rr_keep_probability(eps) + rr_flip_probability(eps) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_keep_rate() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let eps = 1.0;
+        let n = 100_000;
+        let kept = (0..n).filter(|_| randomized_response(true, eps, &mut rng)).count();
+        let observed = kept as f64 / n as f64;
+        assert!((observed - rr_keep_probability(eps)).abs() < 0.01, "{observed}");
+    }
+
+    #[test]
+    fn dp_ratio_bounded_by_exp_epsilon() {
+        // P(report 1 | true 1) / P(report 1 | true 0) = p/(1−p) = e^ε.
+        let eps = 2.0f64;
+        let p = rr_keep_probability(eps);
+        let ratio = p / (1.0 - p);
+        assert!((ratio - eps.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbias_recovers_truth_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let eps = 1.0;
+        let total = 200_000usize;
+        let true_ones = 2_000usize;
+        let mut noisy_ones = 0usize;
+        for i in 0..total {
+            if randomized_response(i < true_ones, eps, &mut rng) {
+                noisy_ones += 1;
+            }
+        }
+        let est = rr_unbias(noisy_ones as f64, total as f64, eps);
+        assert!((est - true_ones as f64).abs() < 900.0, "estimate {est}");
+    }
+
+    #[test]
+    fn density_inflation_explodes_for_sparse_graphs() {
+        // 10⁴ nodes, 10⁴ edges, ε = 1: noisy graph is ~10⁷ edges.
+        let inflated = density_inflation(10_000, 10_000, 1.0);
+        assert!(inflated > 1e6, "inflated {inflated}");
+        // With a huge ε the count stays near the truth.
+        let faithful = density_inflation(10_000, 10_000, 20.0);
+        assert!((faithful - 10_000.0).abs() < 200.0, "faithful {faithful}");
+    }
+}

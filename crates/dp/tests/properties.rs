@@ -1,0 +1,137 @@
+//! Property-based tests for the DP machinery: budget arithmetic can never
+//! overspend, mechanism outputs stay in range, and calibration helpers
+//! are monotone in their parameters.
+
+use pgb_dp::budget::Budget;
+use pgb_dp::exponential::{exponential_mechanism, exponential_mechanism_sparse};
+use pgb_dp::geometric::geometric_mechanism;
+use pgb_dp::laplace::{laplace_mechanism, noisy_count, sample_laplace};
+use pgb_dp::randomized_response::{rr_keep_probability, rr_unbias};
+use pgb_dp::sensitivity::{smooth_sensitivity, SmoothParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn budget_split_preserves_total(
+        total in 0.01f64..100.0,
+        w1 in 0.1f64..10.0,
+        w2 in 0.1f64..10.0,
+        w3 in 0.1f64..10.0,
+    ) {
+        let mut b = Budget::new(total).unwrap();
+        let shares = b.split(&[w1, w2, w3]).unwrap();
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9, "shares sum {sum} vs {total}");
+        prop_assert!(shares.iter().all(|&s| s > 0.0));
+        prop_assert!(b.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn budget_never_overspends(
+        total in 0.01f64..10.0,
+        spends in proptest::collection::vec(0.001f64..1.0, 1..20),
+    ) {
+        let mut b = Budget::new(total).unwrap();
+        for s in spends {
+            let _ = b.spend(s); // may fail; must never corrupt state
+            prop_assert!(b.spent() <= b.total() + 1e-9);
+            prop_assert!(b.remaining() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn laplace_sample_finite(scale in 0.001f64..1e6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = sample_laplace(scale, &mut rng);
+        prop_assert!(x.is_finite());
+    }
+
+    #[test]
+    fn laplace_mechanism_finite(
+        value in -1e9f64..1e9,
+        sens in 0.01f64..100.0,
+        eps in 0.01f64..100.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = laplace_mechanism(value, sens, eps, &mut rng);
+        prop_assert!(x.is_finite());
+    }
+
+    #[test]
+    fn noisy_count_never_negative(
+        count in 0u64..1_000_000,
+        eps in 0.001f64..10.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = noisy_count(count, 1.0, eps, &mut rng);
+        // u64 by type; also bounded sanely for large ε.
+        if eps >= 10.0 {
+            prop_assert!(c <= count * 2 + 100);
+        }
+    }
+
+    #[test]
+    fn geometric_mechanism_in_range(
+        count in 0u64..10_000,
+        eps in 0.01f64..20.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = geometric_mechanism(count, 1.0, eps, &mut rng); // must not panic/wrap
+    }
+
+    #[test]
+    fn exponential_returns_valid_index(
+        scores in proptest::collection::vec(-1e3f64..1e3, 1..64),
+        eps in 0.01f64..50.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let i = exponential_mechanism(&scores, 1.0, eps, &mut rng);
+        prop_assert!(i < scores.len());
+    }
+
+    #[test]
+    fn sparse_exponential_valid_index(
+        total in 1usize..10_000,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nonzero: Vec<(usize, f64)> =
+            (0..total.min(8)).map(|i| (i * (total / 8).max(1) % total, i as f64)).collect();
+        let mut dedup = nonzero.clone();
+        dedup.sort_unstable_by_key(|a| a.0);
+        dedup.dedup_by_key(|x| x.0);
+        let i = exponential_mechanism_sparse(&dedup, total, 1.0, 1.0, &mut rng);
+        prop_assert!(i < total);
+    }
+
+    #[test]
+    fn rr_probabilities_consistent(eps in 0.01f64..30.0) {
+        let p = rr_keep_probability(eps);
+        prop_assert!(p > 0.5 && p < 1.0);
+        // Unbias of the exact expectation recovers the truth.
+        let total = 1000.0;
+        let ones = 137.0;
+        let expected_noisy = ones * p + (total - ones) * (1.0 - p);
+        let est = rr_unbias(expected_noisy, total, eps);
+        prop_assert!((est - ones).abs() < 1e-6, "est {est}");
+    }
+
+    #[test]
+    fn smooth_sensitivity_bounds(
+        d_max in 1usize..1000,
+        eps in 0.05f64..10.0,
+    ) {
+        let params = SmoothParams::for_laplace(eps, 0.01);
+        let ls = |k: usize| 4.0 * (d_max + k) as f64 + 1.0;
+        let s = smooth_sensitivity(ls, params.beta, 100_000);
+        // At least the local sensitivity, at most global-ish (4n + 1).
+        prop_assert!(s >= ls(0));
+        prop_assert!(s <= 4.0 * 200_000.0 + 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Incremental edge accumulation with a single sort/dedup pass at build time.
+
+use crate::{Graph, NodeId, Result};
+
+/// Accumulates edges cheaply (no per-insertion ordering work) and produces a
+/// [`Graph`] with one sort/dedup pass.
+///
+/// All the synthetic-graph constructors in `pgb-models` emit edges in
+/// essentially random order; pushing them here and building once is
+/// `O(E log E)` total instead of `O(E · deg)` for repeated
+/// [`Graph::add_edge`] calls.
+///
+/// ```
+/// use pgb_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.push(0, 1);
+/// b.push(1, 0); // duplicate, collapsed at build
+/// b.push(2, 2); // self-loop, dropped at build
+/// let g = b.build().unwrap();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// A builder with pre-reserved capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pushed (not yet deduplicated) edges.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records the edge `{u, v}`. Range checking is deferred to
+    /// [`GraphBuilder::build`]; self-loops and duplicates are dropped there.
+    #[inline]
+    pub fn push(&mut self, u: NodeId, v: NodeId) {
+        self.edges.push((u, v));
+    }
+
+    /// Extends from an edge iterator.
+    pub fn extend<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+
+    /// Finalises the accumulated edges into a [`Graph`].
+    pub fn build(self) -> Result<Graph> {
+        Graph::from_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_collapses_duplicates() {
+        let mut b = GraphBuilder::with_capacity(4, 6);
+        b.extend([(0, 1), (1, 0), (1, 2), (2, 3), (2, 3), (3, 3)]);
+        assert_eq!(b.pending_edges(), 6);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn build_propagates_range_errors() {
+        let mut b = GraphBuilder::new(2);
+        b.push(0, 9);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

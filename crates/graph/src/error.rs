@@ -1,0 +1,77 @@
+//! Error type shared by all `pgb-graph` operations.
+
+use std::fmt;
+
+/// Errors produced by graph construction, indexing, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id was outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// The malformed content.
+        content: String,
+    },
+    /// An underlying I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "malformed edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "edge-list I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_range() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 5 };
+        assert_eq!(e.to_string(), "node id 7 out of range for graph with 5 nodes");
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = GraphError::Parse { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

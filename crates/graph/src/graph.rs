@@ -1,0 +1,372 @@
+//! The central [`Graph`] type: an undirected simple graph with sorted
+//! adjacency lists.
+
+use crate::{GraphError, Result};
+
+/// Node identifier. PGB graphs have at most a few hundred thousand nodes, so
+/// `u32` halves the memory footprint of adjacency storage relative to `usize`.
+pub type NodeId = u32;
+
+/// An undirected simple graph (no self-loops, no parallel edges).
+///
+/// Nodes are the contiguous range `0..node_count()`. Neighbour lists are kept
+/// sorted, which makes [`Graph::has_edge`] a binary search and lets triangle
+/// counting and set intersections run over sorted slices.
+#[derive(Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], m: 0 }
+    }
+
+    /// Builds a graph from an edge iterator.
+    ///
+    /// Self-loops are dropped and duplicate edges collapsed, mirroring the
+    /// preprocessing PGB applies to every dataset (the paper evaluates simple
+    /// undirected graphs only). Returns an error if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::new(n);
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for (u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                continue;
+            }
+            pairs.push(if u < v { (u, v) } else { (v, u) });
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        // Two passes: size the lists exactly, then fill them.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &pairs {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        for (u, d) in deg.iter().enumerate() {
+            g.adj[u].reserve_exact(*d as usize);
+        }
+        for &(u, v) in &pairs {
+            g.adj[u as usize].push(v);
+            g.adj[v as usize].push(u);
+        }
+        for list in &mut g.adj {
+            list.sort_unstable();
+        }
+        g.m = pairs.len();
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Sorted neighbour slice of node `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    /// Whether the edge `{u, v}` is present. Self-queries return `false`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Inserts the edge `{u, v}`. Returns `true` if the edge was new,
+    /// `false` for self-loops and already-present edges.
+    ///
+    /// Insertion keeps neighbour lists sorted (an `O(deg)` shift); bulk
+    /// construction should prefer [`Graph::from_edges`] or
+    /// [`crate::GraphBuilder`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
+        let n = self.node_count();
+        if u as usize >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v as usize >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Ok(false);
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => Ok(false),
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize].binary_search(&u).unwrap_err();
+                self.adj[v as usize].insert(pos_v, u);
+                self.m += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Removes the edge `{u, v}` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u as usize >= self.node_count() || v as usize >= self.node_count() {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize].binary_search(&u).unwrap();
+                self.adj[v as usize].remove(pos_v);
+                self.m -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates over all edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as NodeId;
+            // Each neighbour list is sorted, so the `v > u` suffix starts at
+            // the partition point; this yields every undirected edge once.
+            let start = nbrs.partition_point(|&v| v <= u);
+            nbrs[start..].iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Collects the edges into a vector (`u < v` per pair, sorted).
+    pub fn edge_vec(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges().collect()
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Edge density `2m / (n (n - 1))` (0.0 for graphs with < 2 nodes).
+    pub fn density(&self) -> f64 {
+        let n = self.node_count() as f64;
+        if n < 2.0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / (n * (n - 1.0))
+        }
+    }
+
+    /// Extracts the subgraph induced by `nodes`, relabelling them
+    /// `0..nodes.len()` in the given order. Returns the subgraph and the
+    /// mapping from new ids to original ids.
+    ///
+    /// Duplicate entries in `nodes` are ignored after the first occurrence.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut new_id = vec![u32::MAX; self.node_count()];
+        let mut order: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        for &u in nodes {
+            if new_id[u as usize] == u32::MAX {
+                new_id[u as usize] = order.len() as u32;
+                order.push(u);
+            }
+        }
+        let mut edges = Vec::new();
+        for &u in &order {
+            let nu = new_id[u as usize];
+            for &v in self.neighbors(u) {
+                let nv = new_id[v as usize];
+                if nv != u32::MAX && nu < nv {
+                    edges.push((nu, nv));
+                }
+            }
+        }
+        let sub = Graph::from_edges(order.len(), edges)
+            .expect("relabelled ids are in range by construction");
+        (sub, order)
+    }
+
+    /// Consistency check used by tests and `debug_assert!`s: sorted,
+    /// deduplicated, symmetric adjacency with no self-loops, and `m`
+    /// matching the stored lists.
+    pub fn check_invariants(&self) -> bool {
+        let mut half_edges = 0usize;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            half_edges += nbrs.len();
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return false; // unsorted or duplicate
+            }
+            for &v in nbrs {
+                if v as usize == u || v as usize >= self.node_count() {
+                    return false;
+                }
+                if self.adj[v as usize].binary_search(&(u as u32)).is_err() {
+                    return false; // asymmetric
+                }
+            }
+        }
+        half_edges == 2 * self.m
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_dedups_and_drops_self_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 0), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, n: 2 }));
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn has_edge_both_orders() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn add_edge_reports_novelty() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1).unwrap());
+        assert!(!g.add_edge(1, 0).unwrap());
+        assert!(!g.add_edge(2, 2).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn add_edge_out_of_range_errors() {
+        let mut g = Graph::new(2);
+        assert!(g.add_edge(0, 2).is_err());
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = triangle_plus_pendant();
+        assert!(g.remove_edge(0, 2));
+        assert!(!g.remove_edge(0, 2));
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let edges = g.edge_vec();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn density_and_average_degree() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!((g.average_degree() - 1.0).abs() < 1e-12);
+        assert!((g.density() - 2.0 * 2.0 / 12.0).abs() < 1e-12);
+        assert_eq!(Graph::new(0).average_degree(), 0.0);
+        assert_eq!(Graph::new(1).density(), 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = triangle_plus_pendant();
+        let (sub, order) = g.induced_subgraph(&[2, 3, 0]);
+        assert_eq!(order, vec![2, 3, 0]);
+        assert_eq!(sub.node_count(), 3);
+        // edges {2,3} -> {0,1} and {2,0} -> {0,2}
+        assert_eq!(sub.edge_vec(), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = triangle_plus_pendant();
+        let (sub, order) = g.induced_subgraph(&[1, 1, 2]);
+        assert_eq!(order, vec![1, 2]);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_consistent() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn max_degree_on_star() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(g.max_degree(), 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! # pgb-graph
+//!
+//! Graph substrate for the PGB benchmark: a compact undirected simple-graph
+//! type plus the traversal, degree-extraction, and I/O routines every other
+//! PGB crate builds on.
+//!
+//! The representation is a sorted adjacency-list structure (`Vec<Vec<u32>>`)
+//! chosen for the benchmark's workload profile: graphs of 10³–10⁵ nodes that
+//! are built once and then queried many times. Membership tests are binary
+//! searches over sorted neighbour slices; iteration over edges and neighbours
+//! is allocation-free.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pgb_graph::Graph;
+//!
+//! // A triangle plus a pendant vertex.
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 4);
+//! assert_eq!(g.degree(2), 3);
+//! assert!(g.has_edge(0, 1));
+//! assert!(!g.has_edge(0, 3));
+//! ```
+
+pub mod builder;
+pub mod degree;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod matrix;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Graph, NodeId};
+pub use matrix::BitMatrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

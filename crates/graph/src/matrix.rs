@@ -1,0 +1,171 @@
+//! A dense symmetric bit matrix.
+//!
+//! Used where an algorithm genuinely reasons about the full adjacency matrix
+//! (DER's quadtree exploration, tests that cross-check list-based results).
+//! The benchmark's large graphs never need to materialise this: TmF is
+//! implemented with its linear-cost sampling trick instead.
+
+use crate::{Graph, NodeId};
+
+/// A packed `n × n` symmetric boolean matrix with a zero diagonal.
+///
+/// Only the full square is stored (row-major, bit-packed into `u64` words);
+/// `set` writes both `(i, j)` and `(j, i)` to keep it symmetric.
+#[derive(Clone)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Builds the adjacency matrix of `g`.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut m = BitMatrix::new(g.node_count());
+        for (u, v) in g.edges() {
+            m.set(u as usize, v as usize, true);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> (usize, u64) {
+        let word = i * self.words_per_row + j / 64;
+        let mask = 1u64 << (j % 64);
+        (word, mask)
+    }
+
+    /// Reads bit `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of range {}", self.n);
+        let (word, mask) = self.index(i, j);
+        self.bits[word] & mask != 0
+    }
+
+    /// Writes bit `(i, j)` and its mirror `(j, i)`. Diagonal writes are
+    /// ignored (simple graphs have no self-loops).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of range {}", self.n);
+        if i == j {
+            return;
+        }
+        for (a, b) in [(i, j), (j, i)] {
+            let (word, mask) = self.index(a, b);
+            if value {
+                self.bits[word] |= mask;
+            } else {
+                self.bits[word] &= !mask;
+            }
+        }
+    }
+
+    /// Number of set bits in the upper triangle, i.e. the edge count of the
+    /// graph this matrix represents.
+    pub fn edge_count(&self) -> usize {
+        let total: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        (total / 2) as usize
+    }
+
+    /// Number of edges inside the axis-aligned sub-block
+    /// `rows × cols = [r0, r1) × [c0, c1)` of the matrix, counting each
+    /// matrix cell once (callers handle the upper/lower-triangle bookkeeping;
+    /// DER's quadtree works on the full square).
+    pub fn block_ones(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
+        let mut count = 0u64;
+        for i in r0..r1 {
+            for j in c0..c1 {
+                let (word, mask) = self.index(i, j);
+                if self.bits[word] & mask != 0 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Converts back into a [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.get(i, j) {
+                    edges.push((i as NodeId, j as NodeId));
+                }
+            }
+        }
+        Graph::from_edges(self.n, edges).expect("indices in range by construction")
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitMatrix({}x{}, {} edges)", self.n, self.n, self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn set_get_symmetric() {
+        let mut m = BitMatrix::new(70); // spans two words per row
+        m.set(3, 68, true);
+        assert!(m.get(3, 68));
+        assert!(m.get(68, 3));
+        m.set(68, 3, false);
+        assert!(!m.get(3, 68));
+    }
+
+    #[test]
+    fn diagonal_writes_ignored() {
+        let mut m = BitMatrix::new(4);
+        m.set(2, 2, true);
+        assert!(!m.get(2, 2));
+        assert_eq!(m.edge_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_graph() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let m = BitMatrix::from_graph(&g);
+        assert_eq!(m.edge_count(), 3);
+        let g2 = m.to_graph();
+        assert_eq!(g2.edge_vec(), g.edge_vec());
+    }
+
+    #[test]
+    fn block_ones_counts_cells() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let m = BitMatrix::from_graph(&g);
+        // Full square counts each edge twice.
+        assert_eq!(m.block_ones(0, 4, 0, 4), 4);
+        // Upper-left quadrant holds the (0,1)/(1,0) pair.
+        assert_eq!(m.block_ones(0, 2, 0, 2), 2);
+        // Off-diagonal quadrant holds nothing.
+        assert_eq!(m.block_ones(0, 2, 2, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitMatrix::new(2).get(0, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Distribution-comparison metrics: KL divergence, Hellinger distance, and
+//! the Kolmogorov–Smirnov statistic.
+//!
+//! Inputs are non-negative weight vectors indexed by a common discrete
+//! support (e.g. degree). Vectors of different lengths are implicitly
+//! zero-padded to the longer support, and every metric normalises its
+//! inputs to probability vectors first.
+
+/// Additive smoothing applied before KL so that empty bins on either side
+/// stay finite; matches the evaluation convention of the PGB reference
+/// implementation.
+const KL_SMOOTHING: f64 = 1e-9;
+
+fn normalized(weights: &[f64], len: usize, smoothing: f64) -> Vec<f64> {
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be non-negative and finite"
+    );
+    let mut p: Vec<f64> = (0..len)
+        .map(|i| weights.get(i).copied().unwrap_or(0.0) + smoothing)
+        .collect();
+    let total: f64 = p.iter().sum();
+    assert!(total > 0.0, "distribution must have positive mass");
+    for x in &mut p {
+        *x /= total;
+    }
+    p
+}
+
+/// Kullback–Leibler divergence `KL(P ‖ Q) = Σ pᵢ ln(pᵢ / qᵢ)` (metric E3),
+/// in nats, with additive smoothing so the result is always finite.
+///
+/// `p_weights` is the *true* distribution and `q_weights` the synthetic
+/// one, following the paper's usage for degree and distance distributions.
+pub fn kl_divergence(p_weights: &[f64], q_weights: &[f64]) -> f64 {
+    let len = p_weights.len().max(q_weights.len()).max(1);
+    let p = normalized(p_weights, len, KL_SMOOTHING);
+    let q = normalized(q_weights, len, KL_SMOOTHING);
+    p.iter()
+        .zip(&q)
+        .map(|(&pi, &qi)| if pi > 0.0 { pi * (pi / qi).ln() } else { 0.0 })
+        .sum()
+}
+
+/// Hellinger distance `(1/√2) ‖√P − √Q‖₂` (metric E4), in `[0, 1]`.
+pub fn hellinger_distance(p_weights: &[f64], q_weights: &[f64]) -> f64 {
+    let len = p_weights.len().max(q_weights.len()).max(1);
+    let p = normalized(p_weights, len, 0.0);
+    let q = normalized(q_weights, len, 0.0);
+    let sq_sum: f64 = p.iter().zip(&q).map(|(&pi, &qi)| (pi.sqrt() - qi.sqrt()).powi(2)).sum();
+    (sq_sum / 2.0).sqrt()
+}
+
+/// Kolmogorov–Smirnov statistic `max |CDF_P − CDF_Q|` (metric E5) over the
+/// shared discrete support, in `[0, 1]`.
+pub fn ks_statistic(p_weights: &[f64], q_weights: &[f64]) -> f64 {
+    let len = p_weights.len().max(q_weights.len()).max(1);
+    let p = normalized(p_weights, len, 0.0);
+    let q = normalized(q_weights, len, 0.0);
+    let (mut cp, mut cq, mut best) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..len {
+        cp += p[i];
+        cq += q[i];
+        best = best.max((cp - cq).abs());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_positive_for_different() {
+        assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]) > 0.1);
+    }
+
+    #[test]
+    fn kl_finite_with_empty_bins() {
+        let v = kl_divergence(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]);
+        assert!(v.is_finite());
+        assert!(v > 1.0);
+    }
+
+    #[test]
+    fn kl_handles_unequal_lengths() {
+        let v = kl_divergence(&[1.0], &[0.5, 0.5]);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL([0.5, 0.5] || [0.9, 0.1]) = 0.5 ln(0.5/0.9) + 0.5 ln(0.5/0.1)
+        let expected = 0.5 * (0.5f64 / 0.9).ln() + 0.5 * (0.5f64 / 0.1).ln();
+        let got = kl_divergence(&[0.5, 0.5], &[0.9, 0.1]);
+        assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn hellinger_bounds() {
+        assert!(hellinger_distance(&[1.0, 0.0], &[1.0, 0.0]).abs() < 1e-12);
+        // Disjoint supports → maximal distance 1.
+        assert!((hellinger_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        let mid = hellinger_distance(&[0.5, 0.5], &[0.9, 0.1]);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn hellinger_symmetric() {
+        let a = [0.2, 0.3, 0.5];
+        let b = [0.5, 0.25, 0.25];
+        assert!((hellinger_distance(&a, &b) - hellinger_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_value() {
+        // CDFs: P = [0.5, 1.0], Q = [0.1, 1.0]; max gap 0.4.
+        assert!((ks_statistic(&[0.5, 0.5], &[0.1, 0.9]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_zero_and_disjoint_one() {
+        let p = [0.3, 0.7];
+        assert!(ks_statistic(&p, &p).abs() < 1e-12);
+        assert!((ks_statistic(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unnormalised_inputs_accepted() {
+        // Weight vectors (histogram counts) are normalised internally.
+        let a = [3.0, 3.0, 6.0];
+        let b = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&a, &b).abs() < 1e-6);
+        assert!(hellinger_distance(&a, &b).abs() < 1e-6);
+        assert!(ks_statistic(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        kl_divergence(&[-1.0, 2.0], &[0.5, 0.5]);
+    }
+}

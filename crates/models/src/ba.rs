@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! The paper's BA dataset (Table VI) is `n = 10000`, `m = 5`, giving
+//! `(n − m) · m = 49 975` edges and a power-law degree distribution.
+
+use pgb_graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Grows a Barabási–Albert graph: starting from `m` isolated seed nodes,
+/// each arriving node attaches to `m` distinct existing nodes chosen with
+/// probability proportional to their degree (uniformly while no edges
+/// exist). This matches the NetworkX construction the paper's datasets use,
+/// so the edge count is exactly `(n − m) · m`.
+///
+/// # Panics
+/// Panics unless `1 ≤ m < n`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n, got m={m}, n={n}");
+    let mut b = GraphBuilder::with_capacity(n, (n - m) * m);
+    // One entry per edge endpoint: sampling uniformly from this list is
+    // degree-proportional sampling.
+    let mut repeated: Vec<u32> = Vec::with_capacity(2 * (n - m) * m);
+    // The first arriving node connects to all m seeds (uniform choice among
+    // degree-0 nodes is the whole seed set).
+    let mut targets: Vec<u32> = (0..m as u32).collect();
+    for source in m as u32..n as u32 {
+        for &t in &targets {
+            b.push(source, t);
+            repeated.push(source);
+            repeated.push(t);
+        }
+        // Next round's targets: m distinct degree-proportional draws.
+        // (Kept in draw order — a HashSet drain here would make the
+        // construction depend on hash iteration order.)
+        targets.clear();
+        while targets.len() < m {
+            let pick = repeated[rng.gen_range(0..repeated.len())];
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+    }
+    b.build().expect("ids bounded by n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let g = barabasi_albert(1000, 5, &mut rng);
+        assert_eq!(g.edge_count(), 995 * 5);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn paper_dataset_edge_count() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g = barabasi_albert(10_000, 5, &mut rng);
+        assert_eq!(g.edge_count(), 49_975); // Table VI's BA row
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = barabasi_albert(500, 3, &mut rng);
+        for u in g.nodes() {
+            assert!(g.degree(u) >= 3, "node {u} degree {}", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = barabasi_albert(3_000, 2, &mut rng);
+        // A BA hub should far exceed the mean degree of ~4.
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn m_one_gives_tree() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let g = barabasi_albert(200, 1, &mut rng);
+        assert_eq!(g.edge_count(), 199);
+        assert!(pgb_graph::traversal::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= m < n")]
+    fn invalid_m_panics() {
+        let mut rng = StdRng::seed_from_u64(75);
+        barabasi_albert(5, 5, &mut rng);
+    }
+}

@@ -1,0 +1,150 @@
+//! Erdős–Rényi random graphs: `G(n, p)` and `G(n, m)`.
+//!
+//! The paper's ER dataset (Table VI) is `G(10000, p)` with `p ≈ 0.005`,
+//! giving ~250k edges and a binomial degree distribution.
+
+use crate::sampling::sample_distinct_pairs;
+use pgb_graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`. Uses geometric skip-sampling over the linearised upper
+/// triangle, so the cost is `O(n + m)` rather than `O(n²)`.
+///
+/// # Panics
+/// Panics unless `p ∈ [0, 1]`.
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n < 2 || p == 0.0 {
+        return Graph::new(n);
+    }
+    let expected = (p * n as f64 * (n as f64 - 1.0) / 2.0) as usize;
+    let mut b = GraphBuilder::with_capacity(n, expected + expected / 8 + 8);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.push(u, v);
+            }
+        }
+        return b.build().expect("complete graph ids are in range");
+    }
+    // Walk the upper triangle as a flat index stream with geometric jumps.
+    let log1p = (1.0 - p).ln();
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / log1p).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (row, col) = unflatten_upper(idx, n as u64);
+        b.push(row as u32, col as u32);
+        idx += 1;
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Maps a flat index over the strict upper triangle of an `n × n` matrix
+/// (row-major) back to `(row, col)` with `row < col`.
+fn unflatten_upper(idx: u64, n: u64) -> (u64, u64) {
+    // Row r owns (n - 1 - r) cells; find r by solving the quadratic
+    // prefix-sum, then fix up any off-by-one from float rounding.
+    let nf = n as f64;
+    let idxf = idx as f64;
+    let mut row = (nf - 0.5 - ((nf - 0.5) * (nf - 0.5) - 2.0 * idxf).max(0.0).sqrt()) as u64;
+    loop {
+        let start = row * (n - 1) - row * row.saturating_sub(1) / 2; // cells before row
+        let len = n - 1 - row;
+        if idx < start {
+            row -= 1;
+        } else if idx >= start + len {
+            row += 1;
+        } else {
+            let col = row + 1 + (idx - start);
+            return (row, col);
+        }
+    }
+}
+
+/// `G(n, m)`: a graph drawn uniformly from all graphs with exactly `m`
+/// edges.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let pairs = sample_distinct_pairs(n, m, rng);
+    Graph::from_edges(n, pairs).expect("sampled ids are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unflatten_enumerates_triangle() {
+        let n = 7u64;
+        let mut expected = Vec::new();
+        for r in 0..n {
+            for c in (r + 1)..n {
+                expected.push((r, c));
+            }
+        }
+        for (i, &(r, c)) in expected.iter().enumerate() {
+            assert_eq!(unflatten_upper(i as u64, n), (r, c), "index {i}");
+        }
+    }
+
+    #[test]
+    fn gnp_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(60);
+        assert_eq!(erdos_renyi_gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let (n, p) = (2_000usize, 0.01);
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = p * n as f64 * (n as f64 - 1.0) / 2.0;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            ((g.edge_count() as f64) - expected).abs() < 6.0 * sd,
+            "m = {}, expected {expected}",
+            g.edge_count()
+        );
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn gnp_matches_paper_dataset_scale() {
+        let mut rng = StdRng::seed_from_u64(62);
+        // Table VI: |V| = 10000, |E| ≈ 250,278.
+        let p = 250_278.0 / (10_000.0 * 9_999.0 / 2.0);
+        let g = erdos_renyi_gnp(10_000, p, &mut rng);
+        let m = g.edge_count() as f64;
+        assert!((m - 250_278.0).abs() < 3_000.0, "m {m}");
+    }
+
+    #[test]
+    fn gnm_exact_edges() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let g = erdos_renyi_gnm(100, 500, &mut rng);
+        assert_eq!(g.edge_count(), 500);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn gnp_small_n() {
+        let mut rng = StdRng::seed_from_u64(64);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, &mut rng).node_count(), 0);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, &mut rng).edge_count(), 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Hierarchical random graphs (Clauset, Moore & Newman, Nature 2008) —
+//! PrivHRG's model.
+//!
+//! A *dendrogram* is a rooted binary tree whose leaves are the graph's
+//! nodes. Each internal node `r` carries a connection probability
+//! `p_r = E_r / (L_r · R_r)`, where `E_r` counts graph edges whose lowest
+//! common ancestor is `r` and `L_r`, `R_r` are the leaf counts of its two
+//! subtrees. The likelihood of a graph given a dendrogram factorises over
+//! internal nodes, and dendrogram space is explored with the standard
+//! subtree-swap Markov chain.
+//!
+//! [`Dendrogram::mcmc_step`] takes a scaling `factor` applied to the
+//! log-likelihood difference: `1.0` gives the classic likelihood sampler,
+//! while PrivHRG passes `ε₁ / (2 Δ logL)` to target the exponential
+//! mechanism's distribution over dendrograms.
+
+use crate::sampling::sample_binomial;
+use pgb_graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// A child pointer in the dendrogram: either a graph node (leaf) or
+/// another internal node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Child {
+    /// A leaf, identified by graph node id.
+    Leaf(u32),
+    /// An internal dendrogram node.
+    Internal(u32),
+}
+
+/// Sentinel parent id for the root.
+const NO_PARENT: u32 = u32::MAX;
+
+/// A binary dendrogram over `n` graph nodes with per-internal-node edge
+/// counts maintained incrementally across MCMC moves.
+#[derive(Clone, Debug)]
+pub struct Dendrogram {
+    n: usize,
+    left: Vec<Child>,
+    right: Vec<Child>,
+    /// Parent internal node of each internal node (NO_PARENT for root).
+    parent: Vec<u32>,
+    /// Parent internal node of each leaf.
+    leaf_parent: Vec<u32>,
+    /// Number of leaves under each internal node.
+    leaves: Vec<u32>,
+    /// Edges of the source graph whose LCA is this internal node.
+    e: Vec<u64>,
+    root: u32,
+    /// Timestamped scratch marks for LCA queries (per internal node).
+    mark: Vec<u64>,
+    /// Timestamped scratch marks for leaf-set membership (per leaf).
+    leaf_mark: Vec<u64>,
+    stamp: u64,
+}
+
+impl Dendrogram {
+    /// Builds a random balanced dendrogram over `n` leaves (a uniformly
+    /// random leaf permutation split recursively in half) with all edge
+    /// counts zero.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` — a dendrogram needs at least one internal node.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n >= 2, "dendrogram needs at least 2 leaves, got {n}");
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let internal = n - 1;
+        let mut d = Dendrogram {
+            n,
+            left: vec![Child::Leaf(0); internal],
+            right: vec![Child::Leaf(0); internal],
+            parent: vec![NO_PARENT; internal],
+            leaf_parent: vec![NO_PARENT; n],
+            leaves: vec![0; internal],
+            e: vec![0; internal],
+            root: 0,
+            mark: vec![0; internal],
+            leaf_mark: vec![0; n],
+            stamp: 0,
+        };
+        let mut next = 0u32;
+        let root = d.build_balanced(&perm, &mut next);
+        match root {
+            Child::Internal(r) => d.root = r,
+            Child::Leaf(_) => unreachable!("n >= 2 always yields an internal root"),
+        }
+        d
+    }
+
+    fn build_balanced(&mut self, leaves: &[u32], next: &mut u32) -> Child {
+        if leaves.len() == 1 {
+            return Child::Leaf(leaves[0]);
+        }
+        let id = *next;
+        *next += 1;
+        let mid = leaves.len() / 2;
+        let l = self.build_balanced(&leaves[..mid], next);
+        let r = self.build_balanced(&leaves[mid..], next);
+        self.left[id as usize] = l;
+        self.right[id as usize] = r;
+        for (child, side) in [(l, true), (r, false)] {
+            let _ = side;
+            match child {
+                Child::Leaf(u) => self.leaf_parent[u as usize] = id,
+                Child::Internal(c) => self.parent[c as usize] = id,
+            }
+        }
+        self.leaves[id as usize] = leaves.len() as u32;
+        Child::Internal(id)
+    }
+
+    /// Builds a random dendrogram and initialises the edge counts from `g`.
+    pub fn from_graph<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Self {
+        let mut d = Dendrogram::random(g.node_count(), rng);
+        d.recompute_edge_counts(g);
+        d
+    }
+
+    /// Number of leaves (graph nodes).
+    pub fn leaf_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of internal nodes (`n − 1`).
+    pub fn internal_count(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Edge count `E_r` at internal node `r`.
+    pub fn edges_at(&self, r: u32) -> u64 {
+        self.e[r as usize]
+    }
+
+    /// The number of leaf pairs `L_r · R_r` split by internal node `r`.
+    pub fn pairs_at(&self, r: u32) -> u64 {
+        let (l, rr) = self.child_leaf_counts(r);
+        l as u64 * rr as u64
+    }
+
+    fn child_leaves(&self, c: Child) -> u32 {
+        match c {
+            Child::Leaf(_) => 1,
+            Child::Internal(i) => self.leaves[i as usize],
+        }
+    }
+
+    fn child_leaf_counts(&self, r: u32) -> (u32, u32) {
+        (self.child_leaves(self.left[r as usize]), self.child_leaves(self.right[r as usize]))
+    }
+
+    /// Lowest common ancestor (an internal node) of two distinct leaves.
+    pub fn lca(&mut self, u: NodeId, v: NodeId) -> u32 {
+        debug_assert_ne!(u, v, "LCA of identical leaves is undefined");
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut cur = self.leaf_parent[u as usize];
+        while cur != NO_PARENT {
+            self.mark[cur as usize] = stamp;
+            cur = self.parent[cur as usize];
+        }
+        let mut cur = self.leaf_parent[v as usize];
+        loop {
+            if self.mark[cur as usize] == stamp {
+                return cur;
+            }
+            cur = self.parent[cur as usize];
+            debug_assert_ne!(cur, NO_PARENT, "leaves must share the root");
+        }
+    }
+
+    /// Recomputes every `E_r` from scratch against `g`.
+    pub fn recompute_edge_counts(&mut self, g: &Graph) {
+        assert_eq!(g.node_count(), self.n, "graph/dendrogram size mismatch");
+        self.e.iter_mut().for_each(|x| *x = 0);
+        for (u, v) in g.edges() {
+            let r = self.lca(u, v);
+            self.e[r as usize] += 1;
+        }
+    }
+
+    /// Per-internal-node log-likelihood term
+    /// `E ln p + (T − E) ln(1 − p)` with `p = E/T` and `0 ln 0 = 0`.
+    fn term(e: u64, t: u64) -> f64 {
+        if t == 0 || e == 0 || e >= t {
+            return 0.0;
+        }
+        let p = e as f64 / t as f64;
+        e as f64 * p.ln() + (t - e) as f64 * (1.0 - p).ln()
+    }
+
+    /// The dendrogram log-likelihood `Σ_r E_r ln p_r + (T_r − E_r) ln(1 − p_r)`.
+    pub fn log_likelihood(&self) -> f64 {
+        (0..self.internal_count() as u32)
+            .map(|r| Self::term(self.e[r as usize], self.pairs_at(r)))
+            .sum()
+    }
+
+    /// Collects the graph-node ids of all leaves under `child`.
+    fn collect_leaves(&self, child: Child, out: &mut Vec<u32>) {
+        match child {
+            Child::Leaf(u) => out.push(u),
+            Child::Internal(i) => {
+                let mut stack = vec![i];
+                while let Some(r) = stack.pop() {
+                    for c in [self.left[r as usize], self.right[r as usize]] {
+                        match c {
+                            Child::Leaf(u) => out.push(u),
+                            Child::Internal(j) => stack.push(j),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of graph edges between the leaf sets of two disjoint
+    /// subtrees.
+    fn edges_between(&mut self, g: &Graph, x: Child, y: Child) -> u64 {
+        let mut lx = Vec::new();
+        let mut ly = Vec::new();
+        self.collect_leaves(x, &mut lx);
+        self.collect_leaves(y, &mut ly);
+        // Mark the side we probe against; iterate the other.
+        let (iter_side, mark_side) = if lx.len() <= ly.len() { (&lx, &ly) } else { (&ly, &lx) };
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for &u in mark_side {
+            self.leaf_mark[u as usize] = stamp;
+        }
+        let mut count = 0u64;
+        for &u in iter_side {
+            for &v in g.neighbors(u) {
+                if self.leaf_mark[v as usize] == stamp {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// One step of the Clauset–Moore–Newman subtree-swap Markov chain with
+    /// Metropolis acceptance `min(1, exp(factor · Δ logL))`. Returns
+    /// whether the move was accepted.
+    ///
+    /// `factor = 1` samples dendrograms ∝ likelihood; PrivHRG passes
+    /// `ε₁ / (2 Δ logL)` to target the exponential mechanism instead.
+    pub fn mcmc_step<R: Rng + ?Sized>(&mut self, g: &Graph, factor: f64, rng: &mut R) -> bool {
+        if self.internal_count() < 2 {
+            return false; // no non-root internal node to move
+        }
+        // Choose a non-root internal node r.
+        let r = loop {
+            let cand = rng.gen_range(0..self.internal_count() as u32);
+            if cand != self.root {
+                break cand;
+            }
+        };
+        let q = self.parent[r as usize];
+        let a = self.left[r as usize];
+        let b = self.right[r as usize];
+        // c = r's sibling under q.
+        let r_is_left = self.left[q as usize] == Child::Internal(r);
+        let c = if r_is_left { self.right[q as usize] } else { self.left[q as usize] };
+
+        let (la, lb) = (self.child_leaves(a) as u64, self.child_leaves(b) as u64);
+        let lc = self.child_leaves(c) as u64;
+        let e_ab = self.e[r as usize];
+        let e_q = self.e[q as usize];
+        let e_ac = self.edges_between(g, a, c);
+        let e_bc = e_q - e_ac;
+
+        let old = Self::term(e_ab, la * lb) + Self::term(e_q, (la + lb) * lc);
+        // The two alternative configurations.
+        let swap_with_b = rng.gen_bool(0.5);
+        let (new_r_children, new_er, new_eq, new_pairs_r, new_pairs_q, moved_out) = if swap_with_b
+        {
+            // r = (A, C), q = (r, B)
+            ((a, c), e_ac, e_ab + e_bc, la * lc, (la + lc) * lb, b)
+        } else {
+            // r = (B, C), q = (r, A)
+            ((b, c), e_bc, e_ab + e_ac, lb * lc, (lb + lc) * la, a)
+        };
+        let new = Self::term(new_er, new_pairs_r) + Self::term(new_eq, new_pairs_q);
+        let delta = new - old;
+        if delta < 0.0 {
+            let accept_p = (factor * delta).exp();
+            if !rng.gen_bool(accept_p.clamp(0.0, 1.0)) {
+                return false;
+            }
+        }
+        // Apply the restructure: r adopts (x, c); q adopts (r, moved_out).
+        self.left[r as usize] = new_r_children.0;
+        self.right[r as usize] = new_r_children.1;
+        if r_is_left {
+            self.left[q as usize] = Child::Internal(r);
+            self.right[q as usize] = moved_out;
+        } else {
+            self.right[q as usize] = Child::Internal(r);
+            self.left[q as usize] = moved_out;
+        }
+        for child in [new_r_children.0, new_r_children.1] {
+            match child {
+                Child::Leaf(u) => self.leaf_parent[u as usize] = r,
+                Child::Internal(i) => self.parent[i as usize] = r,
+            }
+        }
+        match moved_out {
+            Child::Leaf(u) => self.leaf_parent[u as usize] = q,
+            Child::Internal(i) => self.parent[i as usize] = q,
+        }
+        self.leaves[r as usize] =
+            self.child_leaves(new_r_children.0) + self.child_leaves(new_r_children.1);
+        self.e[r as usize] = new_er;
+        self.e[q as usize] = new_eq;
+        true
+    }
+
+    /// Samples a graph from the dendrogram using the maximum-likelihood
+    /// probabilities `p_r = E_r / T_r`.
+    pub fn sample_graph<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let probs: Vec<f64> = (0..self.internal_count() as u32)
+            .map(|r| {
+                let t = self.pairs_at(r);
+                if t == 0 {
+                    0.0
+                } else {
+                    self.e[r as usize] as f64 / t as f64
+                }
+            })
+            .collect();
+        self.sample_graph_with(&probs, rng)
+    }
+
+    /// Samples a graph using caller-supplied per-internal-node connection
+    /// probabilities (PrivHRG passes noisy ones). Probabilities are clamped
+    /// into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `probs.len() != internal_count()`.
+    pub fn sample_graph_with<R: Rng + ?Sized>(&self, probs: &[f64], rng: &mut R) -> Graph {
+        assert_eq!(probs.len(), self.internal_count(), "probability vector length mismatch");
+        let mut b = GraphBuilder::new(self.n);
+        let mut lx = Vec::new();
+        let mut ly = Vec::new();
+        for r in 0..self.internal_count() as u32 {
+            let p = probs[r as usize].clamp(0.0, 1.0);
+            if p <= 0.0 {
+                continue;
+            }
+            lx.clear();
+            ly.clear();
+            self.collect_leaves(self.left[r as usize], &mut lx);
+            self.collect_leaves(self.right[r as usize], &mut ly);
+            let pairs = lx.len() as u64 * ly.len() as u64;
+            let count = sample_binomial(pairs, p, rng);
+            if count * 3 >= pairs {
+                // Dense regime: Bernoulli per pair avoids rejection stalls.
+                for &u in &lx {
+                    for &v in &ly {
+                        if rng.gen_range(0.0f64..1.0) < p {
+                            b.push(u, v);
+                        }
+                    }
+                }
+            } else {
+                let mut seen = std::collections::HashSet::with_capacity(count as usize * 2);
+                while (seen.len() as u64) < count {
+                    let i = rng.gen_range(0..lx.len());
+                    let j = rng.gen_range(0..ly.len());
+                    if seen.insert((i, j)) {
+                        b.push(lx[i], ly[j]);
+                    }
+                }
+            }
+        }
+        b.build().expect("leaf ids bounded by n")
+    }
+
+    /// Structural sanity check used by tests: parent/child pointers are
+    /// mutually consistent, leaf counts add up, and every leaf is reachable
+    /// exactly once.
+    pub fn check_invariants(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![self.root];
+        let mut visited_internal = 0usize;
+        while let Some(r) = stack.pop() {
+            visited_internal += 1;
+            let mut count = 0u32;
+            for c in [self.left[r as usize], self.right[r as usize]] {
+                match c {
+                    Child::Leaf(u) => {
+                        if seen[u as usize] || self.leaf_parent[u as usize] != r {
+                            return false;
+                        }
+                        seen[u as usize] = true;
+                        count += 1;
+                    }
+                    Child::Internal(i) => {
+                        if self.parent[i as usize] != r {
+                            return false;
+                        }
+                        stack.push(i);
+                        count += self.leaves[i as usize];
+                    }
+                }
+            }
+            if count != self.leaves[r as usize] {
+                return false;
+            }
+        }
+        visited_internal == self.internal_count() && seen.iter().all(|&s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cliques(bridge: bool) -> Graph {
+        // Two K4s, optionally bridged.
+        let mut edges = Vec::new();
+        for base in [0u32, 4u32] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        if bridge {
+            edges.push((0, 4));
+        }
+        Graph::from_edges(8, edges).unwrap()
+    }
+
+    #[test]
+    fn random_dendrogram_invariants() {
+        let mut rng = StdRng::seed_from_u64(130);
+        for n in [2usize, 3, 5, 16, 33] {
+            let d = Dendrogram::random(n, &mut rng);
+            assert!(d.check_invariants(), "n = {n}");
+            assert_eq!(d.internal_count(), n - 1);
+        }
+    }
+
+    #[test]
+    fn edge_counts_sum_to_m() {
+        let mut rng = StdRng::seed_from_u64(131);
+        let g = two_cliques(true);
+        let d = Dendrogram::from_graph(&g, &mut rng);
+        let total: u64 = (0..d.internal_count() as u32).map(|r| d.edges_at(r)).sum();
+        assert_eq!(total, g.edge_count() as u64);
+    }
+
+    #[test]
+    fn lca_of_siblings() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut d = Dendrogram::from_graph(&g, &mut rng);
+        // The LCA must be symmetric and a valid internal node.
+        for (u, v) in [(0u32, 1u32), (1, 3), (0, 3)] {
+            let a = d.lca(u, v);
+            let b = d.lca(v, u);
+            assert_eq!(a, b);
+            assert!((a as usize) < d.internal_count());
+        }
+    }
+
+    #[test]
+    fn mcmc_preserves_invariants_and_counts() {
+        let mut rng = StdRng::seed_from_u64(133);
+        let g = two_cliques(true);
+        let mut d = Dendrogram::from_graph(&g, &mut rng);
+        for step in 0..500 {
+            d.mcmc_step(&g, 1.0, &mut rng);
+            if step % 100 == 0 {
+                assert!(d.check_invariants(), "step {step}");
+                // Incremental counts must equal a fresh recompute.
+                let mut fresh = d.clone();
+                fresh.recompute_edge_counts(&g);
+                for r in 0..d.internal_count() as u32 {
+                    assert_eq!(d.edges_at(r), fresh.edges_at(r), "node {r} at step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcmc_improves_likelihood_on_structured_graph() {
+        let mut rng = StdRng::seed_from_u64(134);
+        let g = two_cliques(false);
+        let mut d = Dendrogram::from_graph(&g, &mut rng);
+        let start = d.log_likelihood();
+        for _ in 0..3_000 {
+            d.mcmc_step(&g, 1.0, &mut rng);
+        }
+        let end = d.log_likelihood();
+        assert!(end >= start, "likelihood went from {start} to {end}");
+        // Two separate cliques are perfectly explained: optimal logL ≈ 0.
+        assert!(end > -8.0, "end likelihood {end}");
+    }
+
+    #[test]
+    fn sample_graph_respects_probabilities() {
+        let mut rng = StdRng::seed_from_u64(135);
+        let g = two_cliques(true);
+        let mut d = Dendrogram::from_graph(&g, &mut rng);
+        for _ in 0..2_000 {
+            d.mcmc_step(&g, 1.0, &mut rng);
+        }
+        // ML sampling reproduces the edge count in expectation.
+        let reps = 30;
+        let mean: f64 = (0..reps).map(|_| d.sample_graph(&mut rng).edge_count() as f64).sum::<f64>()
+            / reps as f64;
+        let m = g.edge_count() as f64;
+        assert!((mean - m).abs() < 0.35 * m, "mean {mean} vs m {m}");
+    }
+
+    #[test]
+    fn sample_graph_with_extreme_probs() {
+        let mut rng = StdRng::seed_from_u64(136);
+        let g = two_cliques(false);
+        let d = Dendrogram::from_graph(&g, &mut rng);
+        let zeros = vec![0.0; d.internal_count()];
+        assert_eq!(d.sample_graph_with(&zeros, &mut rng).edge_count(), 0);
+        let ones = vec![1.0; d.internal_count()];
+        // All-ones probabilities yield the complete graph.
+        assert_eq!(d.sample_graph_with(&ones, &mut rng).edge_count(), 8 * 7 / 2);
+        // Out-of-range values are clamped, not propagated.
+        let wild = vec![7.5; d.internal_count()];
+        assert_eq!(d.sample_graph_with(&wild, &mut rng).edge_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 leaves")]
+    fn tiny_dendrogram_panics() {
+        let mut rng = StdRng::seed_from_u64(137);
+        Dendrogram::random(1, &mut rng);
+    }
+}

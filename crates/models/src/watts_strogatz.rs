@@ -1,0 +1,133 @@
+//! Watts–Strogatz small-world graphs: a ring lattice with random
+//! rewiring. High clustering with short paths — used by the clustered
+//! dataset stand-ins.
+
+use pgb_graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// A Watts–Strogatz graph: `n` nodes on a ring, each joined to its `k`
+/// nearest neighbours (`k/2` on each side), then every edge's far endpoint
+/// rewired uniformly at random with probability `beta`.
+///
+/// # Panics
+/// Panics unless `k` is even, `k < n`, and `beta ∈ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!(k < n, "need k < n, got k={k}, n={n}");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    let mut present = std::collections::HashSet::with_capacity(n * k / 2);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for offset in 1..=k / 2 {
+            let v = (u + offset) % n;
+            let key = norm(u as u32, v as u32);
+            if present.insert(key) {
+                edges.push(key);
+            }
+        }
+    }
+    // Rewire pass.
+    let mut rewired: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+    for &(u, v) in &edges {
+        if rng.gen_range(0.0f64..1.0) < beta {
+            // Replace v with a random node, avoiding self-loops and
+            // duplicates; give up after a few tries on dense rings.
+            let mut placed = false;
+            for _ in 0..16 {
+                let w = rng.gen_range(0..n as u32);
+                if w == u {
+                    continue;
+                }
+                let key = norm(u, w);
+                if !present.contains(&key) {
+                    present.remove(&norm(u, v));
+                    present.insert(key);
+                    rewired.push(key);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                rewired.push((u, v));
+            }
+        } else {
+            rewired.push((u, v));
+        }
+    }
+    for (u, v) in rewired {
+        b.push(u, v);
+    }
+    b.build().expect("ids bounded by n")
+}
+
+fn norm(u: u32, v: u32) -> (u32, u32) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acc(g: &Graph) -> f64 {
+        let mut total = 0.0;
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            let d = nbrs.len();
+            if d < 2 {
+                continue;
+            }
+            let mut links = 0usize;
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if g.has_edge(a, b) {
+                        links += 1;
+                    }
+                }
+            }
+            total += 2.0 * links as f64 / (d as f64 * (d as f64 - 1.0));
+        }
+        total / g.node_count() as f64
+    }
+
+    #[test]
+    fn ring_lattice_at_beta_zero() {
+        let mut rng = StdRng::seed_from_u64(150);
+        let g = watts_strogatz(50, 4, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 100);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        // Ring lattice with k = 4 has clustering 0.5.
+        assert!((acc(&g) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rewiring_lowers_clustering() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let ordered = watts_strogatz(500, 6, 0.0, &mut rng);
+        let random = watts_strogatz(500, 6, 1.0, &mut rng);
+        assert!(acc(&ordered) > 3.0 * acc(&random) + 0.05);
+    }
+
+    #[test]
+    fn edge_count_preserved_by_rewiring() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let g = watts_strogatz(200, 8, 0.3, &mut rng);
+        assert_eq!(g.edge_count(), 800);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        let mut rng = StdRng::seed_from_u64(153);
+        watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

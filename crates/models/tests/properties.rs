@@ -1,0 +1,147 @@
+//! Property-based tests over the graph constructors: every generator must
+//! emit a structurally valid simple graph, and constructors with exactness
+//! guarantees must honour them.
+
+use pgb_graph::degree::degree_sequence;
+use pgb_models::havel_hakimi::{havel_hakimi, is_graphical};
+use pgb_models::{
+    barabasi_albert, bter, chung_lu, configuration_model, erdos_renyi_gnm, erdos_renyi_gnp,
+    grid_graph, watts_strogatz, BterParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gnp_always_valid(n in 0usize..120, p in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.check_invariants());
+        let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+        prop_assert!(g.edge_count() <= max);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count(n in 2usize..60, frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_gnm(n, m, &mut rng);
+        prop_assert_eq!(g.edge_count(), m);
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn ba_structure(n in 3usize..150, seed in 0u64..1000) {
+        let m = 1 + seed as usize % ((n - 1).min(5));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n, m, &mut rng);
+        prop_assert_eq!(g.edge_count(), (n - m) * m);
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn hh_realises_graphical(degrees in proptest::collection::vec(0u32..6, 2..40)) {
+        let g = havel_hakimi(&degrees);
+        prop_assert!(g.check_invariants());
+        let realised = degree_sequence(&g);
+        if is_graphical(&degrees) {
+            prop_assert_eq!(realised, degrees);
+        } else {
+            // Best effort never overshoots a target.
+            for (got, want) in realised.iter().zip(&degrees) {
+                prop_assert!(got <= want);
+            }
+        }
+    }
+
+    #[test]
+    fn config_model_bounded(degrees in proptest::collection::vec(0u32..8, 0..60), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = configuration_model(&degrees, &mut rng);
+        prop_assert!(g.check_invariants());
+        for (u, &d) in degrees.iter().enumerate() {
+            prop_assert!(g.degree(u as u32) as u32 <= d);
+        }
+    }
+
+    #[test]
+    fn chung_lu_valid(weights in proptest::collection::vec(0.0f64..10.0, 0..80), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = chung_lu(&weights, &mut rng);
+        prop_assert_eq!(g.node_count(), weights.len());
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn bter_valid(degrees in proptest::collection::vec(0u32..10, 2..80), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = bter(&degrees, &BterParams::default(), &mut rng);
+        prop_assert_eq!(g.node_count(), degrees.len());
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn ws_valid(n in 5usize..80, half_k in 1usize..3, beta in 0.0f64..=1.0, seed in 0u64..1000) {
+        let k = 2 * half_k;
+        prop_assume!(k < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = watts_strogatz(n, k, beta, &mut rng);
+        prop_assert_eq!(g.edge_count(), n * k / 2);
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn grid_valid(rows in 1usize..15, cols in 1usize..15) {
+        let g = grid_graph(rows, cols);
+        prop_assert_eq!(g.node_count(), rows * cols);
+        let expected = rows * (cols.saturating_sub(1)) + cols * (rows.saturating_sub(1));
+        prop_assert_eq!(g.edge_count(), expected);
+        prop_assert!(g.check_invariants());
+    }
+}
+
+#[test]
+fn hrg_mcmc_long_run_consistency() {
+    // A longer, deterministic MCMC soak: incremental edge counts must stay
+    // equal to recomputed ones across hundreds of accepted restructures.
+    use pgb_models::hrg::Dendrogram;
+    let mut rng = StdRng::seed_from_u64(999);
+    let g = erdos_renyi_gnp(60, 0.1, &mut rng);
+    let mut d = Dendrogram::from_graph(&g, &mut rng);
+    for _ in 0..2_000 {
+        d.mcmc_step(&g, 1.0, &mut rng);
+    }
+    assert!(d.check_invariants());
+    let mut fresh = d.clone();
+    fresh.recompute_edge_counts(&g);
+    for r in 0..d.internal_count() as u32 {
+        assert_eq!(d.edges_at(r), fresh.edges_at(r), "internal node {r}");
+    }
+    let sum: u64 = (0..d.internal_count() as u32).map(|r| d.edges_at(r)).sum();
+    assert_eq!(sum, g.edge_count() as u64);
+}
+
+#[test]
+fn kronecker_moment_consistency_across_parameters() {
+    use pgb_models::{Initiator, KroneckerModel};
+    // Moments must be monotone in each initiator entry and consistent
+    // between the exact sampler and the closed forms across a grid.
+    for &(a, b, c) in
+        &[(0.9, 0.5, 0.1), (0.7, 0.3, 0.6), (0.99, 0.4, 0.2), (0.5, 0.5, 0.5)]
+    {
+        let m = KroneckerModel { initiator: Initiator::new(a, b, c), k: 7 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let reps = 8;
+        let mean = (0..reps).map(|_| m.sample_exact(&mut rng).edge_count() as f64).sum::<f64>()
+            / reps as f64;
+        let expected = m.expected_edges();
+        assert!(
+            (mean - expected).abs() / expected.max(1.0) < 0.15,
+            "({a},{b},{c}): mean {mean} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Eigenvector centrality (Q15) by power iteration.
+
+use pgb_graph::Graph;
+
+/// Eigenvector centrality: the principal eigenvector of the adjacency
+/// matrix, L2-normalised with non-negative entries.
+///
+/// Power iteration with a uniform start vector; on disconnected graphs the
+/// limit concentrates on the component with the largest spectral radius
+/// and other components go to ~0 — the same behaviour as the NetworkX
+/// implementation the paper's evaluation code uses. Returns the all-zero
+/// vector for edgeless graphs.
+pub fn eigenvector_centrality(g: &Graph, max_iters: usize, tolerance: f64) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 || g.edge_count() == 0 {
+        return vec![0.0; n];
+    }
+    let mut x = vec![1.0f64 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        // Iterate with (A + I): the spectral shift prevents the sign
+        // oscillation of plain power iteration on bipartite graphs
+        // (same device as the NetworkX implementation).
+        next.copy_from_slice(&x);
+        for u in g.nodes() {
+            let xu = x[u as usize];
+            for &v in g.neighbors(u) {
+                next[v as usize] += xu;
+            }
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return vec![0.0; n];
+        }
+        for v in next.iter_mut() {
+            *v /= norm;
+        }
+        let delta: f64 = x.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut x, &mut next);
+        if delta < tolerance {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_graph::Graph;
+
+    fn evc(g: &Graph) -> Vec<f64> {
+        eigenvector_centrality(g, 500, 1e-12)
+    }
+
+    #[test]
+    fn regular_graph_uniform_centrality() {
+        let cycle = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let x = evc(&cycle);
+        let expected = 1.0 / 5.0f64.sqrt();
+        for (u, &v) in x.iter().enumerate() {
+            assert!((v - expected).abs() < 1e-9, "node {u}: {v}");
+        }
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let x = evc(&g);
+        // Known: centre = 1/√2, each leaf = 1/(2√2).
+        assert!((x[0] - 1.0 / 2.0f64.sqrt()).abs() < 1e-6, "centre {}", x[0]);
+        for (leaf, &v) in x.iter().enumerate().skip(1) {
+            assert!((v - 1.0 / (2.0 * 2.0f64.sqrt())).abs() < 1e-6, "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn normalised_output() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
+        let x = evc(&g);
+        let norm: f64 = x.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert!(x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn edgeless_graph_zero_vector() {
+        assert_eq!(evc(&Graph::new(4)), vec![0.0; 4]);
+        assert!(evc(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn dominant_component_wins() {
+        // K4 plus a far-away edge: the K4 (spectral radius 3) dominates
+        // the pair (radius 1).
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)],
+        )
+        .unwrap();
+        let x = evc(&g);
+        assert!(x[0] > 0.4);
+        assert!(x[4] < 1e-6, "minor component should vanish, got {}", x[4]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Clustering-coefficient queries: GCC (Q10) and ACC (Q11).
+
+use crate::counting::{triangles_per_node, wedge_count};
+use pgb_graph::Graph;
+
+/// Global clustering coefficient (transitivity):
+/// `3 × triangles / wedges`, or 0.0 when the graph has no wedges.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let wedges = wedge_count(g);
+    if wedges == 0 {
+        return 0.0;
+    }
+    let triangles: u64 = triangles_per_node(g).iter().sum::<u64>() / 3;
+    3.0 * triangles as f64 / wedges as f64
+}
+
+/// Average (local) clustering coefficient, Watts–Strogatz definition:
+/// the mean over *all* nodes of `2 tᵤ / (dᵤ (dᵤ − 1))`, with degree < 2
+/// nodes contributing 0 — exactly Eq. (1) of the paper.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let per_node = triangles_per_node(g);
+    let mut total = 0.0;
+    for u in g.nodes() {
+        let d = g.degree(u) as f64;
+        if d >= 2.0 {
+            total += 2.0 * per_node[u as usize] as f64 / (d * (d - 1.0));
+        }
+    }
+    total / n as f64
+}
+
+/// Per-degree average local clustering: `out[d]` = mean local clustering
+/// over nodes of degree `d` (0.0 where no such node exists). This is the
+/// curve of the PrivSKG verification figure (Fig. 6).
+pub fn clustering_by_degree(g: &Graph) -> Vec<f64> {
+    let max_d = g.max_degree();
+    let mut sum = vec![0.0f64; max_d + 1];
+    let mut count = vec![0u64; max_d + 1];
+    let per_node = triangles_per_node(g);
+    for u in g.nodes() {
+        let d = g.degree(u);
+        count[d] += 1;
+        if d >= 2 {
+            sum[d] += 2.0 * per_node[u as usize] as f64 / (d as f64 * (d as f64 - 1.0));
+        }
+    }
+    sum.iter()
+        .zip(&count)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_graph::Graph;
+
+    #[test]
+    fn complete_graph_fully_clustered() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, edges).unwrap();
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_values() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        // Wedges: deg 2,2,3,1 → 1+1+3+0 = 5; GCC = 3·1/5.
+        assert!((global_clustering(&g) - 0.6).abs() < 1e-12);
+        // Local: c0 = 1, c1 = 1, c2 = 2·1/(3·2) = 1/3, c3 = 0 → mean 7/12.
+        assert!((average_clustering(&g) - 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        assert_eq!(global_clustering(&Graph::new(0)), 0.0);
+        assert_eq!(average_clustering(&Graph::new(0)), 0.0);
+        assert_eq!(average_clustering(&Graph::new(3)), 0.0);
+    }
+
+    #[test]
+    fn clustering_by_degree_curve() {
+        // Paw graph again: degree 1 → 0, degree 2 → mean(1,1) = 1,
+        // degree 3 → 1/3.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let curve = clustering_by_degree(&g);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[1], 0.0);
+        assert!((curve[2] - 1.0).abs() < 1e-12);
+        assert!((curve[3] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gcc_acc_differ_on_heterogeneous_graph() {
+        // ACC weights low-degree nodes more than GCC does.
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (0, 5), (0, 6)],
+        )
+        .unwrap();
+        let (gcc, acc) = (global_clustering(&g), average_clustering(&g));
+        assert!(gcc > 0.0 && acc > 0.0);
+        assert!((gcc - acc).abs() > 0.05, "gcc {gcc} acc {acc}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Counting queries: triangles (Q3) and wedge counts (shared with the
+//! clustering queries).
+
+use pgb_graph::{Graph, NodeId};
+
+/// Exact triangle count via the forward (node-ordering) algorithm:
+/// each triangle `u < v < w` is found once by intersecting the
+/// higher-neighbour lists of `u` and `v`. Runs in
+/// `O(Σ_edges min(d⁺(u), d⁺(v)))`.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let n = g.node_count();
+    // forward[u] = sorted neighbours of u that are > u.
+    let forward: Vec<&[NodeId]> = (0..n as u32)
+        .map(|u| {
+            let nbrs = g.neighbors(u);
+            let start = nbrs.partition_point(|&v| v <= u);
+            &nbrs[start..]
+        })
+        .collect();
+    let mut count = 0u64;
+    for u in 0..n {
+        for &v in forward[u] {
+            count += sorted_intersection_count(forward[u], forward[v as usize]);
+        }
+    }
+    count
+}
+
+/// Number of elements common to two sorted slices.
+fn sorted_intersection_count(a: &[NodeId], b: &[NodeId]) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Number of wedges (paths of length 2): `Σ_u C(dᵤ, 2)`.
+pub fn wedge_count(g: &Graph) -> u64 {
+    g.nodes()
+        .map(|u| {
+            let d = g.degree(u) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Per-node triangle participation: `t[u]` = number of triangles through
+/// `u`. Used by the local clustering coefficients.
+pub fn triangles_per_node(g: &Graph) -> Vec<u64> {
+    let n = g.node_count();
+    let mut t = vec![0u64; n];
+    let forward: Vec<&[NodeId]> = (0..n as u32)
+        .map(|u| {
+            let nbrs = g.neighbors(u);
+            let start = nbrs.partition_point(|&v| v <= u);
+            &nbrs[start..]
+        })
+        .collect();
+    for u in 0..n {
+        for &v in forward[u] {
+            // Intersect and credit all three corners.
+            let (a, b) = (forward[u], forward[v as usize]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = a[i];
+                        t[u] += 1;
+                        t[v as usize] += 1;
+                        t[w as usize] += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgb_graph::Graph;
+
+    #[test]
+    fn triangle_counts_on_known_graphs() {
+        let tri = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(triangle_count(&tri), 1);
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&k4), 4);
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&path), 0);
+        let star = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(triangle_count(&star), 0);
+    }
+
+    #[test]
+    fn k5_has_ten_triangles() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, edges).unwrap();
+        assert_eq!(triangle_count(&g), 10);
+    }
+
+    #[test]
+    fn wedge_counts() {
+        let star = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(wedge_count(&star), 6); // C(4,2)
+        let tri = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(wedge_count(&tri), 3);
+        assert_eq!(wedge_count(&Graph::new(5)), 0);
+    }
+
+    #[test]
+    fn per_node_triangles_sum_to_three_times_total() {
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)],
+        )
+        .unwrap();
+        let per = triangles_per_node(&g);
+        let total: u64 = per.iter().sum();
+        assert_eq!(total, 3 * triangle_count(&g));
+        assert_eq!(per[5], 0);
+        assert_eq!(per[2], 2); // node 2 is in both triangles
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(300);
+        let g = pgb_models::erdos_renyi_gnp(80, 0.15, &mut rng);
+        let mut brute = 0u64;
+        for u in 0..80u32 {
+            for v in (u + 1)..80 {
+                for w in (v + 1)..80 {
+                    if g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g), brute);
+    }
+}

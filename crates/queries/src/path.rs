@@ -1,0 +1,168 @@
+//! Path-condition queries: diameter (Q7), average shortest path (Q8), and
+//! the distance distribution (Q9), computed in one BFS sweep.
+
+use crate::PathMode;
+use pgb_graph::traversal::{bfs_distances_into, UNREACHABLE};
+use pgb_graph::Graph;
+use rand::Rng;
+
+/// The three path statistics, bundled because they share the BFS sweep.
+#[derive(Clone, Debug)]
+pub struct PathStats {
+    /// Largest finite distance observed (diameter of the covered pairs).
+    pub diameter: u32,
+    /// Mean distance over reachable (ordered) pairs.
+    pub average_length: f64,
+    /// Normalised histogram of pairwise distances, indexed by distance
+    /// (entry 0 is always 0 — a node is at distance 0 only from itself,
+    /// which is excluded).
+    pub distance_distribution: Vec<f64>,
+}
+
+/// Computes the path statistics of `g`.
+///
+/// * [`PathMode::Exact`] sweeps every source: exact values in `O(n·m)`.
+/// * [`PathMode::Sampled`] sweeps a uniform source sample: each BFS still
+///   reaches all nodes, so the estimators are unbiased for the average and
+///   the distribution, and the diameter is a lower bound (the standard
+///   trade-off the harness documents for its large graphs).
+pub fn path_stats<R: Rng + ?Sized>(g: &Graph, mode: PathMode, rng: &mut R) -> PathStats {
+    let n = g.node_count();
+    if n == 0 {
+        return PathStats {
+            diameter: 0,
+            average_length: 0.0,
+            distance_distribution: vec![0.0],
+        };
+    }
+    let sources: Vec<u32> = match mode {
+        PathMode::Exact => (0..n as u32).collect(),
+        PathMode::Sampled { sources } => {
+            let k = sources.clamp(1, n);
+            // Uniform sample without replacement (partial Fisher–Yates).
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            ids.truncate(k);
+            ids
+        }
+    };
+    let mut hist: Vec<u64> = Vec::new();
+    let mut dist_buf = Vec::new();
+    let mut total: u128 = 0;
+    let mut pairs: u64 = 0;
+    let mut diameter: u32 = 0;
+    for &s in &sources {
+        bfs_distances_into(g, s, &mut dist_buf);
+        for (v, &d) in dist_buf.iter().enumerate() {
+            if d == UNREACHABLE || d == 0 || v as u32 == s {
+                continue;
+            }
+            if d as usize >= hist.len() {
+                hist.resize(d as usize + 1, 0);
+            }
+            hist[d as usize] += 1;
+            total += d as u128;
+            pairs += 1;
+            diameter = diameter.max(d);
+        }
+    }
+    let average_length = if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 };
+    let distance_distribution = if pairs == 0 {
+        vec![0.0]
+    } else {
+        hist.iter().map(|&c| c as f64 / pairs as f64).collect()
+    };
+    PathStats { diameter, average_length, distance_distribution }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact(g: &Graph) -> PathStats {
+        let mut rng = StdRng::seed_from_u64(0);
+        path_stats(g, PathMode::Exact, &mut rng)
+    }
+
+    #[test]
+    fn path_graph_statistics() {
+        // Path 0-1-2-3: distances 1,2,3,1,2,1 (unordered pairs).
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = exact(&g);
+        assert_eq!(s.diameter, 3);
+        // Mean over ordered pairs equals mean over unordered: 10/6.
+        assert!((s.average_length - 10.0 / 6.0).abs() < 1e-12);
+        // Distribution: d=1 ×3, d=2 ×2, d=3 ×1 (of 6 unordered pairs).
+        assert!((s.distance_distribution[1] - 0.5).abs() < 1e-12);
+        assert!((s.distance_distribution[2] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.distance_distribution[3] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(6, edges).unwrap();
+        let s = exact(&g);
+        assert_eq!(s.diameter, 1);
+        assert!((s.average_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_excluded() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let s = exact(&g);
+        assert_eq!(s.diameter, 1);
+        assert!((s.average_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edgeless_graph_zeroes() {
+        let s = exact(&Graph::new(4));
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.average_length, 0.0);
+        assert_eq!(s.distance_distribution, vec![0.0]);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(310);
+        let g = pgb_models::erdos_renyi_gnp(200, 0.03, &mut rng);
+        let s = exact(&g);
+        let sum: f64 = s.distance_distribution.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn sampled_estimates_track_exact() {
+        let mut rng = StdRng::seed_from_u64(311);
+        let g = pgb_models::erdos_renyi_gnp(400, 0.02, &mut rng);
+        let ex = exact(&g);
+        let sam = path_stats(&g, PathMode::Sampled { sources: 64 }, &mut rng);
+        assert!(
+            (sam.average_length - ex.average_length).abs() / ex.average_length < 0.08,
+            "sampled {} exact {}",
+            sam.average_length,
+            ex.average_length
+        );
+        assert!(sam.diameter <= ex.diameter);
+        assert!(sam.diameter + 1 >= ex.diameter, "sampled diameter too small");
+    }
+
+    #[test]
+    fn sampled_with_more_sources_than_nodes() {
+        let mut rng = StdRng::seed_from_u64(312);
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let s = path_stats(&g, PathMode::Sampled { sources: 100 }, &mut rng);
+        assert_eq!(s.diameter, 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Community-preservation study: how well does each mechanism retain the
+//! community structure (the CD query, NMI metric) and modularity of a
+//! social graph across privacy budgets?
+//!
+//! This reproduces the qualitative finding of §VI-B ("Community
+//! Detection"): community-aware mechanisms (PrivGraph) hold up at
+//! moderate ε, while matrix-noise mechanisms (TmF) only catch up at
+//! large ε.
+//!
+//! ```bash
+//! cargo run --release --example community_preservation
+//! ```
+
+use pgb::prelude::*;
+use pgb_community::{louvain, modularity, LouvainParams};
+use pgb_metrics::normalized_mutual_information;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let graph = Dataset::Facebook.generate(0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let true_partition = louvain(&graph, &LouvainParams::default(), &mut rng);
+    let true_modularity = modularity(&graph, &true_partition);
+    println!(
+        "Facebook stand-in: {} communities, modularity {:.3}\n",
+        true_partition.community_count(),
+        true_modularity
+    );
+
+    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
+        Box::new(PrivGraph::default()),
+        Box::new(TmF::default()),
+        Box::new(Dgg::default()),
+    ];
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>12}",
+        "algorithm", "ε", "NMI", "modularity", "communities"
+    );
+    for algo in &algorithms {
+        for eps in [0.5, 2.0, 10.0] {
+            let mut gen_rng = StdRng::seed_from_u64(100 + eps as u64);
+            let synthetic =
+                algo.generate(&graph, eps, &mut gen_rng).expect("valid inputs");
+            let partition = louvain(&synthetic, &LouvainParams::default(), &mut gen_rng);
+            let q = modularity(&synthetic, &partition);
+            // NMI needs aligned node sets; all three mechanisms preserve n.
+            let nmi = if partition.len() == true_partition.len() {
+                normalized_mutual_information(true_partition.labels(), partition.labels())
+            } else {
+                f64::NAN
+            };
+            println!(
+                "{:<12} {:>6} {:>10.3} {:>12.3} {:>12}",
+                algo.name(),
+                eps,
+                nmi,
+                q,
+                partition.community_count()
+            );
+        }
+    }
+    println!("\nExpected shape: PrivGraph's NMI leads at moderate ε; TmF needs");
+    println!("ε = 10 before its noisy matrix retains enough structure.");
+}

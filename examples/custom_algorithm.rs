@@ -1,0 +1,105 @@
+//! Extending the benchmark with a *new* mechanism — the workflow PGB's
+//! platform exists for: implement [`GraphGenerator`], drop the mechanism
+//! into the suite, and get comparable numbers against the built-ins.
+//!
+//! The custom mechanism here is edge-flip randomized response, the
+//! textbook Edge-DP baseline. The benchmark output makes the paper's
+//! §IV-B "density problem" observation concrete: on a sparse graph RR
+//! drowns in flipped zero-cells at small ε.
+//!
+//! ```bash
+//! cargo run --release --example custom_algorithm
+//! ```
+
+use pgb::prelude::*;
+use pgb_core::benchmark::report::render_series;
+use pgb_core::benchmark::run_benchmark;
+use pgb_core::GenerateError;
+use pgb_dp::randomized_response::rr_flip_probability;
+use pgb_graph::{Graph, GraphBuilder};
+use pgb_models::sampling::sample_binomial;
+use pgb_queries::Query;
+use rand::RngCore;
+
+/// Randomized response over the adjacency upper triangle: every true edge
+/// survives w.p. `e^ε/(1+e^ε)`, every non-edge flips in w.p.
+/// `1/(1+e^ε)`. Implemented sparsely (Binomial counts + sampling) so it
+/// runs on benchmark-sized graphs.
+struct RandomizedResponseGen;
+
+impl GraphGenerator for RandomizedResponseGen {
+    fn name(&self) -> &'static str {
+        "EdgeRR"
+    }
+
+    fn generate(
+        &self,
+        graph: &Graph,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Graph, GenerateError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(GenerateError::InvalidEpsilon(epsilon));
+        }
+        let n = graph.node_count();
+        if n < 2 {
+            return Ok(Graph::new(n));
+        }
+        let flip = rr_flip_probability(epsilon);
+        let m = graph.edge_count() as u64;
+        let zeros = n as u64 * (n as u64 - 1) / 2 - m;
+        // Surviving true edges.
+        let keep = sample_binomial(m, 1.0 - flip, rng) as usize;
+        // Flipped-in non-edges.
+        let flipped = sample_binomial(zeros, flip, rng) as usize;
+        let mut b = GraphBuilder::with_capacity(n, keep + flipped);
+        let mut edges = graph.edge_vec();
+        for i in 0..keep {
+            let j = (rng.next_u64() % (edges.len() - i) as u64) as usize + i;
+            edges.swap(i, j);
+            b.push(edges[i].0, edges[i].1);
+        }
+        let mut placed = 0;
+        while placed < flipped {
+            let (u, v) = pgb_models::sampling::random_pair(n, rng);
+            if !graph.has_edge(u, v) {
+                b.push(u, v);
+                placed += 1;
+            }
+        }
+        Ok(b.build().expect("ids in range"))
+    }
+}
+
+fn main() {
+    let dataset = Dataset::Minnesota; // sparse: the worst case for RR
+    let graph = dataset.generate(0);
+    println!(
+        "comparing EdgeRR against DGG and TmF on {} (density {:.5})\n",
+        dataset.name(),
+        graph.density()
+    );
+
+    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
+        Box::new(RandomizedResponseGen),
+        Box::new(Dgg::default()),
+        Box::new(TmF::default()),
+    ];
+    let datasets = vec![(dataset.name().to_string(), graph)];
+    let config = BenchmarkConfig {
+        epsilons: vec![0.5, 2.0, 8.0],
+        repetitions: 3,
+        queries: vec![Query::EdgeCount, Query::AverageDegree],
+        seed: 0,
+        ..Default::default()
+    };
+    let results = run_benchmark(&algorithms, &datasets, &config);
+    for query in [Query::EdgeCount, Query::AverageDegree] {
+        println!("{} relative error vs ε:", query.symbol());
+        println!("{}", render_series(&results, dataset.name(), query));
+    }
+    println!("The density problem in numbers: at ε = 0.5 EdgeRR inflates |E| by");
+    println!("orders of magnitude, while the compact-representation mechanisms");
+    println!("stay within a small factor — the reason none of the paper's six");
+    println!("algorithms perturbs raw adjacency cells without a filter.");
+}

@@ -1,0 +1,128 @@
+//! Cross-crate algorithm contracts: every mechanism in the suite (plus
+//! DER) must produce valid graphs on every miniature dataset shape, be
+//! reproducible from a seed, validate ε, and respect the common
+//! framework's structure.
+
+use pgb::prelude::*;
+use pgb_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_algorithms() -> Vec<Box<dyn GraphGenerator>> {
+    let mut suite = standard_suite();
+    suite.push(Box::new(Der::default()));
+    suite
+}
+
+fn shapes() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(17);
+    vec![
+        ("sparse-er", pgb_models::erdos_renyi_gnp(150, 0.02, &mut rng)),
+        ("dense-er", pgb_models::erdos_renyi_gnp(80, 0.3, &mut rng)),
+        ("power-law", pgb_models::barabasi_albert(150, 2, &mut rng)),
+        ("grid", pgb_models::grid_graph(12, 12)),
+        ("star", Graph::from_edges(50, (1..50).map(|v| (0u32, v))).unwrap()),
+        ("edgeless", Graph::new(40)),
+    ]
+}
+
+#[test]
+fn every_algorithm_on_every_shape() {
+    for algo in all_algorithms() {
+        for (shape, g) in shapes() {
+            for eps in [0.2, 2.0] {
+                let mut rng = StdRng::seed_from_u64(5);
+                let out = algo
+                    .generate(&g, eps, &mut rng)
+                    .unwrap_or_else(|e| panic!("{} on {shape} at ε={eps}: {e}", algo.name()));
+                assert!(
+                    out.check_invariants(),
+                    "{} on {shape} at ε={eps}: invalid output",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn node_preserving_algorithms_keep_node_count() {
+    // All mechanisms except DP-dK (whose dK reconstruction re-derives the
+    // node set from the noisy series) keep the input node set.
+    let mut rng = StdRng::seed_from_u64(23);
+    let g = pgb_models::erdos_renyi_gnp(200, 0.04, &mut rng);
+    for algo in all_algorithms() {
+        if algo.name().starts_with("DP-") {
+            continue;
+        }
+        let out = algo.generate(&g, 1.0, &mut rng).expect("valid inputs");
+        assert_eq!(out.node_count(), 200, "{}", algo.name());
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let g = pgb_models::erdos_renyi_gnp(120, 0.05, &mut rng);
+    for algo in all_algorithms() {
+        let run = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            algo.generate(&g, 1.0, &mut r).expect("valid inputs").edge_vec()
+        };
+        assert_eq!(run(77), run(77), "{} not reproducible", algo.name());
+    }
+}
+
+#[test]
+fn epsilon_validation_uniform() {
+    let g = Graph::new(10);
+    for algo in all_algorithms() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut rng = StdRng::seed_from_u64(0);
+            assert!(
+                algo.generate(&g, bad, &mut rng).is_err(),
+                "{} accepted ε = {bad}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn deltas_match_table_v() {
+    // §V-C: DP-dK and PrivSKG are (ε, 0.01); everything else pure.
+    for algo in standard_suite() {
+        let expected = match algo.name() {
+            "DP-dK" | "PrivSKG" => 0.01,
+            _ => 0.0,
+        };
+        assert_eq!(algo.delta(), expected, "{}", algo.name());
+    }
+}
+
+#[test]
+fn utility_improves_with_epsilon_for_edge_count() {
+    // The fundamental DP trade-off, checked on the |E| query with enough
+    // repetitions to be robust: mean RE at ε = 20 must beat ε = 0.1 for
+    // the mechanisms that control the edge count directly.
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = pgb_models::erdos_renyi_gnp(200, 0.05, &mut rng);
+    let m = g.edge_count() as f64;
+    for algo in [&TmF::default() as &dyn GraphGenerator, &Dgg::default()] {
+        let mean_re = |eps: f64| {
+            let mut total = 0.0;
+            for rep in 0..6 {
+                let mut r = StdRng::seed_from_u64(1000 + rep);
+                let out = algo.generate(&g, eps, &mut r).expect("valid inputs");
+                total += (out.edge_count() as f64 - m).abs() / m;
+            }
+            total / 6.0
+        };
+        let (loose, tight) = (mean_re(0.1), mean_re(20.0));
+        assert!(
+            tight <= loose + 1e-9,
+            "{}: RE at ε=20 ({tight}) worse than at ε=0.1 ({loose})",
+            algo.name()
+        );
+    }
+}

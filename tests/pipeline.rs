@@ -1,0 +1,112 @@
+//! End-to-end integration: the full benchmark pipeline — datasets →
+//! suite → runner → scoring → reports — at miniature scale.
+
+use pgb::prelude::*;
+use pgb_core::benchmark::report::{render_table12, render_table7};
+use pgb_core::benchmark::scoring::{best_counts_per_case, best_counts_per_query};
+use pgb_core::benchmark::run_benchmark;
+use pgb_queries::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mini_datasets() -> Vec<(String, pgb_graph::Graph)> {
+    let mut rng = StdRng::seed_from_u64(3);
+    vec![
+        ("er".to_string(), pgb_models::erdos_renyi_gnp(120, 0.08, &mut rng)),
+        ("ba".to_string(), pgb_models::barabasi_albert(120, 3, &mut rng)),
+    ]
+}
+
+fn mini_config() -> BenchmarkConfig {
+    BenchmarkConfig {
+        epsilons: vec![0.5, 5.0],
+        repetitions: 2,
+        queries: vec![
+            Query::EdgeCount,
+            Query::Triangles,
+            Query::DegreeDistribution,
+            Query::CommunityDetection,
+        ],
+        seed: 11,
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_suite_runs_end_to_end() {
+    let results = run_benchmark(&standard_suite(), &mini_datasets(), &mini_config());
+    // 6 algorithms × 2 datasets × 2 ε × 4 queries.
+    assert_eq!(results.outcomes.len(), 6 * 2 * 2 * 4);
+    for o in &results.outcomes {
+        assert!(o.mean_error.is_finite(), "{o:?}");
+        assert!(o.mean_error >= 0.0, "{o:?}");
+    }
+}
+
+#[test]
+fn scoring_tables_cover_every_cell() {
+    let results = run_benchmark(&standard_suite(), &mini_datasets(), &mini_config());
+    // Definition 5: for each (dataset, ε), total credits ≥ #queries
+    // (ties can only add credits, never remove).
+    let per_case = best_counts_per_case(&results);
+    for (ei, _) in results.epsilons.iter().enumerate() {
+        for ds in &results.datasets {
+            let total: usize = results
+                .algorithms
+                .iter()
+                .filter_map(|a| per_case.get(&(a.clone(), ds.clone(), ei)))
+                .sum();
+            assert!(total >= results.queries.len(), "dataset {ds} ε-index {ei}: {total}");
+        }
+    }
+    // Definition 6: per query, credits over the whole grid ≥ #cells.
+    let per_query = best_counts_per_query(&results);
+    for &q in &results.queries {
+        let total: usize = results
+            .algorithms
+            .iter()
+            .filter_map(|a| per_query.get(&(a.clone(), q)))
+            .sum();
+        assert!(total >= results.epsilons.len() * results.datasets.len(), "query {q:?}");
+    }
+}
+
+#[test]
+fn reports_render_all_sections() {
+    let results = run_benchmark(&standard_suite(), &mini_datasets(), &mini_config());
+    let t7 = render_table7(&results);
+    assert!(t7.contains("ε = 0.5") && t7.contains("ε = 5"));
+    for algo in &results.algorithms {
+        assert!(t7.contains(algo.as_str()), "table7 missing {algo}");
+    }
+    let t12 = render_table12(&results);
+    for &q in &results.queries {
+        assert!(t12.contains(q.symbol()), "table12 missing {}", q.symbol());
+    }
+    let csv = results.to_csv();
+    assert_eq!(csv.lines().count(), results.outcomes.len() + 1);
+}
+
+#[test]
+fn benchmark_is_reproducible() {
+    let a = run_benchmark(&standard_suite(), &mini_datasets(), &mini_config());
+    let b = run_benchmark(&standard_suite(), &mini_datasets(), &mini_config());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.algorithm, y.algorithm);
+        assert!((x.mean_error - y.mean_error).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn meta_crate_reexports_work() {
+    // The `pgb` facade must expose every subsystem.
+    let g = pgb::graph::Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    assert_eq!(g.edge_count(), 2);
+    let mut rng = StdRng::seed_from_u64(0);
+    let _ = pgb::models::erdos_renyi_gnp(10, 0.5, &mut rng);
+    let _ = pgb::datasets::Dataset::Minnesota.target();
+    let _ = pgb::metrics::relative_error(1.0, 2.0);
+    let p = pgb::community::Partition::singletons(4);
+    assert_eq!(p.community_count(), 4);
+}

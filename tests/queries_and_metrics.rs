@@ -1,0 +1,89 @@
+//! Cross-crate integration of queries with metrics: the error of a graph
+//! against itself is zero for every query, the metric pairing follows
+//! Table IV, and perturbation strictly increases error.
+
+use pgb_core::benchmark::{compute_error, metric_for, ErrorMetric};
+use pgb_queries::{Query, QueryParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn self_comparison_is_zero_error() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = pgb_models::erdos_renyi_gnp(150, 0.05, &mut rng);
+    let params = QueryParams::default();
+    for q in Query::ALL {
+        // Same rng stream per evaluation would desynchronise Louvain; use
+        // identical seeds instead so randomised queries agree.
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = q.evaluate(&g, &params, &mut r1);
+        let b = q.evaluate(&g, &params, &mut r2);
+        let err = compute_error(q, &a, &b);
+        assert!(err.abs() < 1e-6, "{q:?} self-error {err}");
+    }
+}
+
+#[test]
+fn metric_pairing_is_total() {
+    // Every query must map to a metric and produce a finite error on
+    // arbitrary valid graph pairs.
+    let mut rng = StdRng::seed_from_u64(43);
+    let g1 = pgb_models::erdos_renyi_gnp(100, 0.08, &mut rng);
+    let g2 = pgb_models::barabasi_albert(90, 3, &mut rng);
+    let params = QueryParams::default();
+    for q in Query::ALL {
+        let _ = metric_for(q);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = q.evaluate(&g1, &params, &mut r1);
+        let b = q.evaluate(&g2, &params, &mut r2);
+        let err = compute_error(q, &a, &b);
+        assert!(err.is_finite() && err >= 0.0, "{q:?} error {err}");
+    }
+}
+
+#[test]
+fn distribution_queries_use_kl() {
+    assert_eq!(metric_for(Query::DegreeDistribution), ErrorMetric::KlDivergence);
+    assert_eq!(metric_for(Query::DistanceDistribution), ErrorMetric::KlDivergence);
+}
+
+#[test]
+fn heavier_perturbation_larger_error() {
+    // Remove 5% vs 50% of edges: every scalar query's error should not
+    // decrease (checked with a tolerance for the stochastic queries).
+    let mut rng = StdRng::seed_from_u64(47);
+    let g = pgb_models::erdos_renyi_gnp(200, 0.06, &mut rng);
+    let edges = g.edge_vec();
+    let drop = |fraction: f64| {
+        let keep = ((1.0 - fraction) * edges.len() as f64) as usize;
+        pgb_graph::Graph::from_edges(200, edges.iter().take(keep).copied()).unwrap()
+    };
+    let light = drop(0.05);
+    let heavy = drop(0.5);
+    let params = QueryParams::default();
+    for q in [Query::EdgeCount, Query::AverageDegree, Query::Triangles] {
+        let mut r = StdRng::seed_from_u64(1);
+        let truth = q.evaluate(&g, &params, &mut r);
+        let e_light = compute_error(q, &truth, &q.evaluate(&light, &params, &mut r));
+        let e_heavy = compute_error(q, &truth, &q.evaluate(&heavy, &params, &mut r));
+        assert!(e_heavy >= e_light, "{q:?}: light {e_light} heavy {e_heavy}");
+    }
+}
+
+#[test]
+fn path_queries_consistent_between_modes() {
+    let mut rng = StdRng::seed_from_u64(53);
+    let g = pgb_models::erdos_renyi_gnp(300, 0.03, &mut rng);
+    let exact = QueryParams::default();
+    let sampled = QueryParams {
+        path_mode: pgb_queries::PathMode::Sampled { sources: 128 },
+        ..QueryParams::default()
+    };
+    let mut r1 = StdRng::seed_from_u64(1);
+    let mut r2 = StdRng::seed_from_u64(1);
+    let a = Query::AveragePathLength.evaluate(&g, &exact, &mut r1).as_scalar().unwrap();
+    let b = Query::AveragePathLength.evaluate(&g, &sampled, &mut r2).as_scalar().unwrap();
+    assert!((a - b).abs() / a < 0.05, "exact {a} vs sampled {b}");
+}
