@@ -25,9 +25,8 @@ fn tmf_naive(g: &Graph, epsilon: f64, rng: &mut StdRng) -> Graph {
     let n = g.node_count();
     let eps1 = 0.9 * epsilon;
     let eps2 = 0.1 * epsilon;
-    let m_tilde = (g.edge_count() as f64 + sample_laplace(1.0 / eps2, rng))
-        .round()
-        .max(0.0) as usize;
+    let m_tilde =
+        (g.edge_count() as f64 + sample_laplace(1.0 / eps2, rng)).round().max(0.0) as usize;
     let mut cells: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n - 1) / 2);
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
@@ -68,17 +67,13 @@ fn ablation_privgraph(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(800));
     for rounds in [0usize, 1, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("refine_rounds", rounds),
-            &rounds,
-            |b, &rounds| {
-                let gen = PrivGraph { refine_rounds: rounds, ..Default::default() };
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(2);
-                    gen.generate(&g, 1.0, &mut rng).expect("valid")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("refine_rounds", rounds), &rounds, |b, &rounds| {
+            let gen = PrivGraph { refine_rounds: rounds, ..Default::default() };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                gen.generate(&g, 1.0, &mut rng).expect("valid")
+            })
+        });
     }
     group.finish();
 }
@@ -117,7 +112,11 @@ fn ablation_privhrg_chain(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(800));
     for steps in [5_000usize, 20_000, 80_000] {
         group.bench_with_input(BenchmarkId::new("mcmc_steps", steps), &steps, |b, &steps| {
-            let gen = PrivHrg { steps_per_node: usize::MAX / 4096, max_steps: steps, ..Default::default() };
+            let gen = PrivHrg {
+                steps_per_node: usize::MAX / 4096,
+                max_steps: steps,
+                ..Default::default()
+            };
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(4);
                 gen.generate(&g, 1.0, &mut rng).expect("valid")

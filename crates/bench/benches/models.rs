@@ -43,9 +43,7 @@ fn bench_models(c: &mut Criterion) {
         b.iter(|| configuration_model(&degrees, &mut rng))
     });
 
-    group.bench_function("havel_hakimi_5k", |b| {
-        b.iter(|| havel_hakimi(&degrees))
-    });
+    group.bench_function("havel_hakimi_5k", |b| b.iter(|| havel_hakimi(&degrees)));
 
     group.bench_function("watts_strogatz_5k", |b| {
         let mut rng = StdRng::seed_from_u64(6);

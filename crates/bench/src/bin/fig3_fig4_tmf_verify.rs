@@ -31,10 +31,7 @@ fn main() {
         for rep in 0..reps {
             let mut r = StdRng::seed_from_u64(args.seed ^ ((rep as u64) << 16) ^ eps.to_bits());
             let synthetic = TmF::default().generate(&graph, eps, &mut r).expect("valid inputs");
-            kl_sum += kl_divergence(
-                &true_dd,
-                &pgb_graph::degree::degree_distribution(&synthetic),
-            );
+            kl_sum += kl_divergence(&true_dd, &pgb_graph::degree::degree_distribution(&synthetic));
             let labels = detect_communities(&synthetic, &mut r);
             // Align lengths (TmF keeps the node set, but stay defensive).
             let n = true_cd.len().min(labels.len());

@@ -27,15 +27,16 @@ fn main() {
     // ---- Fig. 5: log-binned degree histograms ----
     println!("Fig. 5 — degree distribution (log₂-binned node counts)\n");
     let true_hist = log_binned_degree_histogram(&truth);
-    let synth_hists: Vec<Vec<u64>> =
-        synths.iter().map(log_binned_degree_histogram).collect();
+    let synth_hists: Vec<Vec<u64>> = synths.iter().map(log_binned_degree_histogram).collect();
     let bins = true_hist.len().max(synth_hists.iter().map(Vec::len).max().unwrap_or(0));
     let mut table = TextTable::new(["degree bin", "original", "generated (avg)"]);
     for b in 0..bins {
-        let label = if b == 0 { "0".to_string() } else { format!("[{}, {})", 1u64 << (b - 1), 1u64 << b) };
+        let label =
+            if b == 0 { "0".to_string() } else { format!("[{}, {})", 1u64 << (b - 1), 1u64 << b) };
         let orig = true_hist.get(b).copied().unwrap_or(0);
-        let avg: f64 = synth_hists.iter().map(|h| h.get(b).copied().unwrap_or(0) as f64).sum::<f64>()
-            / reps as f64;
+        let avg: f64 =
+            synth_hists.iter().map(|h| h.get(b).copied().unwrap_or(0) as f64).sum::<f64>()
+                / reps as f64;
         table.add_row([label, orig.to_string(), format!("{avg:.1}")]);
     }
     println!("{}", table.render());
@@ -50,10 +51,7 @@ fn main() {
     let max_d = true_curve.len().max(synth_curves.iter().map(Vec::len).max().unwrap_or(0));
     while d < max_d {
         let orig = true_curve.get(d).copied().unwrap_or(0.0);
-        let avg: f64 = synth_curves
-            .iter()
-            .map(|c| c.get(d).copied().unwrap_or(0.0))
-            .sum::<f64>()
+        let avg: f64 = synth_curves.iter().map(|c| c.get(d).copied().unwrap_or(0.0)).sum::<f64>()
             / reps as f64;
         table.add_row([d.to_string(), format!("{orig:.4}"), format!("{avg:.4}")]);
         d *= 2;

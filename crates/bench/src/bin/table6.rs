@@ -10,9 +10,8 @@ use pgb_queries::clustering::average_clustering;
 fn main() {
     let args = HarnessArgs::from_env();
     println!("Table VI — dataset statistics (measured vs paper targets)\n");
-    let mut table = TextTable::new([
-        "Graph", "|V|", "|E|", "|E| target", "ACC", "ACC target", "Type",
-    ]);
+    let mut table =
+        TextTable::new(["Graph", "|V|", "|E|", "|E| target", "ACC", "ACC target", "Type"]);
     for d in Dataset::TABLE_VI {
         let g = d.generate(args.seed);
         let t = d.target();

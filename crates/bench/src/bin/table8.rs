@@ -10,7 +10,13 @@ use pgb_core::benchmark::TextTable;
 
 fn main() {
     println!("Table VIII — time and space complexity\n");
-    let mut table = TextTable::new(["Algorithm", "Time (paper)", "Space (paper)", "Time (ours)", "Space (ours)"]);
+    let mut table = TextTable::new([
+        "Algorithm",
+        "Time (paper)",
+        "Space (paper)",
+        "Time (ours)",
+        "Space (ours)",
+    ]);
     for row in [
         ["DP-dK", "O(n^2)", "O(n^2)", "O(m log n)", "O(n + m)"],
         ["TmF", "O(n^2)", "O(n^2)", "O(m + m~)", "O(n + m)"],

@@ -49,9 +49,8 @@ impl HarnessArgs {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value_of = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value_of =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match arg.as_str() {
                 "--scale" => {
                     out.scale = match value_of("--scale")?.as_str() {
@@ -63,15 +62,12 @@ impl HarnessArgs {
                 }
                 "--reps" => {
                     out.reps = Some(
-                        value_of("--reps")?
-                            .parse()
-                            .map_err(|e| format!("invalid --reps: {e}"))?,
+                        value_of("--reps")?.parse().map_err(|e| format!("invalid --reps: {e}"))?,
                     );
                 }
                 "--seed" => {
-                    out.seed = value_of("--seed")?
-                        .parse()
-                        .map_err(|e| format!("invalid --seed: {e}"))?;
+                    out.seed =
+                        value_of("--seed")?.parse().map_err(|e| format!("invalid --seed: {e}"))?;
                 }
                 "--threads" => {
                     out.threads = value_of("--threads")?
@@ -122,8 +118,8 @@ mod tests {
 
     #[test]
     fn full_parse() {
-        let a = parse(&["--scale", "paper", "--reps", "3", "--seed", "9", "--threads", "4"])
-            .unwrap();
+        let a =
+            parse(&["--scale", "paper", "--reps", "3", "--seed", "9", "--threads", "4"]).unwrap();
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.repetitions(), 3); // override wins
         assert_eq!(a.seed, 9);

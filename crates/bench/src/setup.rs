@@ -11,10 +11,7 @@ use pgb_queries::{PathMode, QueryParams};
 /// Loads the 8 Table VI datasets, generated deterministically from the
 /// harness seed.
 pub fn load_datasets(seed: u64) -> Vec<(String, Graph)> {
-    Dataset::TABLE_VI
-        .iter()
-        .map(|d| (d.name().to_string(), d.generate(seed)))
-        .collect()
+    Dataset::TABLE_VI.iter().map(|d| (d.name().to_string(), d.generate(seed))).collect()
 }
 
 /// The paper's six-algorithm suite (Table V).

@@ -15,9 +15,7 @@ pub fn time_once(
 ) -> (Graph, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let start = Instant::now();
-    let out = algorithm
-        .generate(graph, epsilon, &mut rng)
-        .expect("benchmark inputs are valid");
+    let out = algorithm.generate(graph, epsilon, &mut rng).expect("benchmark inputs are valid");
     (out, start.elapsed().as_secs_f64())
 }
 

@@ -102,8 +102,8 @@ fn local_moving<R: Rng + ?Sized>(
             }
             let ku = degree[u as usize];
             comm_total[cu as usize] -= ku;
-            let base = to_comm.get(&cu).copied().unwrap_or(0.0)
-                - ku * comm_total[cu as usize] / two_m;
+            let base =
+                to_comm.get(&cu).copied().unwrap_or(0.0) - ku * comm_total[cu as usize] / two_m;
             let (mut best_comm, mut best_gain) = (cu, 0.0f64);
             for (&c, &w_uc) in &to_comm {
                 if c == cu {
@@ -227,8 +227,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             louvain(&g, &LouvainParams::default(), &mut rng)

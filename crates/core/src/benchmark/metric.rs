@@ -3,7 +3,9 @@
 //! distributions, NMI for community detection, MAE for eigenvector
 //! centrality — exactly the assignment of §V-D.
 
-use pgb_metrics::{kl_divergence, mean_absolute_error, normalized_mutual_information, relative_error};
+use pgb_metrics::{
+    kl_divergence, mean_absolute_error, normalized_mutual_information, relative_error,
+};
 use pgb_queries::{Query, QueryValue};
 
 /// The error metric used to compare a query's true and synthetic values.
@@ -83,9 +85,9 @@ pub fn compute_error(query: Query, true_value: &QueryValue, synthetic: &QueryVal
                 mean_absolute_error(&pad(t), &pad(s))
             }
         }
-        (metric, t, s) => panic!(
-            "value shapes {t:?} / {s:?} do not match metric {metric:?} for query {query:?}"
-        ),
+        (metric, t, s) => {
+            panic!("value shapes {t:?} / {s:?} do not match metric {metric:?} for query {query:?}")
+        }
     }
 }
 
@@ -118,11 +120,8 @@ mod tests {
 
     #[test]
     fn scalar_error() {
-        let e = compute_error(
-            Query::EdgeCount,
-            &QueryValue::Scalar(100.0),
-            &QueryValue::Scalar(90.0),
-        );
+        let e =
+            compute_error(Query::EdgeCount, &QueryValue::Scalar(100.0), &QueryValue::Scalar(90.0));
         assert!((e - 0.1).abs() < 1e-12);
     }
 

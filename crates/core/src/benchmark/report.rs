@@ -108,7 +108,11 @@ pub fn render_table12(results: &BenchmarkResults) -> String {
 
 /// Renders a Fig.-2-style series block: for one (dataset, query), one row
 /// per ε with a column per algorithm.
-pub fn render_series(results: &BenchmarkResults, dataset: &str, query: pgb_queries::Query) -> String {
+pub fn render_series(
+    results: &BenchmarkResults,
+    dataset: &str,
+    query: pgb_queries::Query,
+) -> String {
     let mut headers = vec!["ε".to_string()];
     headers.extend(results.algorithms.iter().cloned());
     let mut table = TextTable::new(headers);

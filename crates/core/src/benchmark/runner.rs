@@ -170,9 +170,9 @@ pub fn run_benchmark(
     }
     .min(tasks.len().max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let t = next.fetch_add(1, Ordering::Relaxed);
                 if t >= tasks.len() {
                     break;
@@ -189,8 +189,12 @@ pub fn run_benchmark(
                         Ok(g) => g,
                         Err(_) => continue,
                     };
-                    let values =
-                        evaluate_queries(&synthetic, &config.queries, &config.query_params, &mut rng);
+                    let values = evaluate_queries(
+                        &synthetic,
+                        &config.queries,
+                        &config.query_params,
+                        &mut rng,
+                    );
                     for (qi, (q, v)) in config.queries.iter().zip(&values).enumerate() {
                         error_sums[qi] += compute_error(*q, &true_values[di][qi], v);
                     }
@@ -214,8 +218,7 @@ pub fn run_benchmark(
                 outcomes.lock().expect("no panics while holding lock").extend(local);
             });
         }
-    })
-    .expect("benchmark worker panicked");
+    });
 
     let mut outcomes = outcomes.into_inner().expect("lock intact");
     // Deterministic order for reports.
@@ -283,6 +286,34 @@ mod tests {
             assert_eq!(x.query, y.query);
             assert!((x.mean_error - y.mean_error).abs() < 1e-12, "{x:?} vs {y:?}");
         }
+    }
+
+    #[test]
+    fn csv_byte_identical_across_thread_counts() {
+        // Regression: `to_csv` output must be byte-identical between a
+        // single worker and auto parallelism (threads = 0), because cell
+        // RNGs are derived from the master seed, not from scheduling.
+        let mut rng = StdRng::seed_from_u64(42);
+        let datasets = vec![
+            ("er".to_string(), pgb_models::erdos_renyi_gnp(50, 0.1, &mut rng)),
+            ("ba".to_string(), pgb_models::barabasi_albert(50, 2, &mut rng)),
+        ];
+        let algorithms: Vec<Box<dyn GraphGenerator>> =
+            vec![Box::new(TmF::default()), Box::new(Dgg::default())];
+        let mut config = BenchmarkConfig {
+            epsilons: vec![0.5, 5.0],
+            repetitions: 2,
+            queries: vec![Query::EdgeCount, Query::Triangles],
+            seed: 42,
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = run_benchmark(&algorithms, &datasets, &config).to_csv();
+        config.threads = 0; // auto: available parallelism
+        let auto = run_benchmark(&algorithms, &datasets, &config).to_csv();
+        assert_eq!(serial, auto, "CSV must not depend on the thread count");
+        // 2 datasets × 2 algorithms × 2 ε × 2 queries + header.
+        assert_eq!(serial.lines().count(), 17);
     }
 
     #[test]

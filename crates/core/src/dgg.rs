@@ -17,13 +17,11 @@ use pgb_models::{bter, BterParams};
 use rand::RngCore;
 
 /// The DGG baseline generator.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Dgg {
     /// BTER construction parameters (clustering profile).
     pub bter: BterParams,
 }
-
 
 /// L1 sensitivity of the degree sequence under edge neighbouring.
 const DEGREE_SENSITIVITY: f64 = 2.0;

@@ -82,9 +82,8 @@ impl DpDk {
         // ~1.7× inflation at ε = 0.2, not 300×).
         let eps_count = 0.1 * epsilon;
         let eps_jdd = epsilon - eps_count;
-        let m_tilde = (graph.edge_count() as f64 + sample_laplace(1.0 / eps_count, rng))
-            .round()
-            .max(0.0);
+        let m_tilde =
+            (graph.edge_count() as f64 + sample_laplace(1.0 / eps_count, rng)).round().max(0.0);
 
         let jdd = joint_degree_distribution(graph);
         let d_max = graph.max_degree();

@@ -159,8 +159,7 @@ impl GraphGenerator for PrivGraph {
                     sparse.clear();
                     sparse.extend(scores.iter().map(|(&c, &s)| (c as usize, s)));
                     sparse.sort_unstable_by_key(|a| a.0); // determinism
-                    let choice =
-                        exponential_mechanism_sparse(&sparse, k, 1.0, per_node_eps, rng);
+                    let choice = exponential_mechanism_sparse(&sparse, k, 1.0, per_node_eps, rng);
                     labels[u as usize] = choice as u32;
                 }
             }
@@ -187,14 +186,10 @@ impl GraphGenerator for PrivGraph {
             let buckets = (k_max - keep).max(1);
             let mut remap = vec![0u32; k];
             for (rank, &(_, c)) in sizes.iter().enumerate() {
-                remap[c as usize] = if rank < keep {
-                    rank as u32
-                } else {
-                    (keep + (rank - keep) % buckets) as u32
-                };
+                remap[c as usize] =
+                    if rank < keep { rank as u32 } else { (keep + (rank - keep) % buckets) as u32 };
             }
-            let merged: Vec<u32> =
-                (0..n).map(|u| remap[comm.label(u as u32) as usize]).collect();
+            let merged: Vec<u32> = (0..n).map(|u| remap[comm.label(u as u32) as usize]).collect();
             comm = Partition::from_labels(merged);
             comm.normalize();
         }

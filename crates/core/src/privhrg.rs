@@ -126,10 +126,7 @@ mod tests {
         let g = community_graph(&mut rng);
         let out = PrivHrg::default().generate(&g, 50.0, &mut rng).unwrap();
         // Edges inside the two blobs should dominate, as in the input.
-        let intra = out
-            .edges()
-            .filter(|&(u, v)| (u < 30) == (v < 30))
-            .count() as f64;
+        let intra = out.edges().filter(|&(u, v)| (u < 30) == (v < 30)).count() as f64;
         let total = out.edge_count().max(1) as f64;
         assert!(intra / total > 0.7, "intra fraction {}", intra / total);
     }
@@ -158,7 +155,8 @@ mod tests {
         // A generator with a tiny cap must still terminate fast and work.
         let mut rng = StdRng::seed_from_u64(445);
         let g = community_graph(&mut rng);
-        let gen = PrivHrg { steps_per_node: usize::MAX / 1_000, max_steps: 100, ..Default::default() };
+        let gen =
+            PrivHrg { steps_per_node: usize::MAX / 1_000, max_steps: 100, ..Default::default() };
         let out = gen.generate(&g, 1.0, &mut rng).unwrap();
         assert!(out.check_invariants());
     }

@@ -131,23 +131,16 @@ impl GraphGenerator for PrivSkg {
         let d_max = graph.max_degree();
 
         // Noisy moments. Edge count: global sensitivity 1 (pure DP share).
-        let noisy_edges =
-            (graph.edge_count() as f64 + sample_laplace(1.0 / eps_m, rng)).max(1.0);
+        let noisy_edges = (graph.edge_count() as f64 + sample_laplace(1.0 / eps_m, rng)).max(1.0);
         // Wedges and triangles: smooth sensitivity, (ε, δ) shares.
         let wedge_params = SmoothParams::for_laplace(eps_w, self.delta);
-        let s_w = smooth_sensitivity(
-            |k| wedge_local_sensitivity_at(d_max, k),
-            wedge_params.beta,
-            n,
-        );
+        let s_w =
+            smooth_sensitivity(|k| wedge_local_sensitivity_at(d_max, k), wedge_params.beta, n);
         let noisy_wedges =
             (wedge_count(graph) as f64 + sample_laplace(2.0 * s_w / eps_w, rng)).max(1.0);
         let tri_params = SmoothParams::for_laplace(eps_t, self.delta);
-        let s_t = smooth_sensitivity(
-            |k| triangle_local_sensitivity_at(d_max, k),
-            tri_params.beta,
-            n,
-        );
+        let s_t =
+            smooth_sensitivity(|k| triangle_local_sensitivity_at(d_max, k), tri_params.beta, n);
         let noisy_triangles =
             (triangle_count(graph) as f64 + sample_laplace(2.0 * s_t / eps_t, rng)).max(0.0);
 

@@ -47,9 +47,8 @@ impl TmF {
     /// `m · P(1 + Lap > θ) + N₀ · P(Lap > θ) = m̃`.
     /// The left side is strictly decreasing in θ, so bisection converges.
     fn solve_threshold(m: f64, zeros: f64, m_tilde: f64, eps1: f64) -> f64 {
-        let expected = |theta: f64| {
-            m * laplace_tail(theta - 1.0, eps1) + zeros * laplace_tail(theta, eps1)
-        };
+        let expected =
+            |theta: f64| m * laplace_tail(theta - 1.0, eps1) + zeros * laplace_tail(theta, eps1);
         let (mut lo, mut hi) = (-2.0, 1.0 + 60.0 / eps1);
         if expected(lo) < m_tilde {
             return lo; // target larger than everything can pass
@@ -91,9 +90,8 @@ impl GraphGenerator for TmF {
         let zeros = cells - m as u64;
 
         // Noisy edge count (sensitivity 1 under edge neighbouring).
-        let m_tilde = (m as f64 + sample_laplace(1.0 / eps2, rng))
-            .round()
-            .clamp(0.0, cells as f64) as u64;
+        let m_tilde =
+            (m as f64 + sample_laplace(1.0 / eps2, rng)).round().clamp(0.0, cells as f64) as u64;
         if m_tilde == 0 {
             return Ok(Graph::new(n));
         }

@@ -198,7 +198,8 @@ impl Dataset {
         // Mix the dataset identity into the seed so that e.g. ER and BA
         // with the same user seed are independent.
         let tag = *self as u64 + 1;
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag));
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag));
         match self {
             Dataset::Minnesota => roadnet::minnesota_like(&mut rng),
             Dataset::Facebook => social::facebook_like(&mut rng),

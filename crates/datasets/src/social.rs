@@ -25,8 +25,7 @@ pub fn power_law_degrees<R: Rng + ?Sized>(
 ) -> Vec<u32> {
     assert!(d_min >= 1 && d_min <= d_max, "invalid degree range");
     // Inverse-CDF sampling of P(d) ∝ d^(−exponent) over [d_min, d_max].
-    let weights: Vec<f64> =
-        (d_min..=d_max).map(|d| (d as f64).powf(-exponent)).collect();
+    let weights: Vec<f64> = (d_min..=d_max).map(|d| (d as f64).powf(-exponent)).collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
@@ -59,11 +58,7 @@ pub fn facebook_like<R: Rng + ?Sized>(rng: &mut R) -> Graph {
     let mut sizes = Vec::new();
     let mut remaining = n;
     while remaining > 0 {
-        let s = if sizes.len() < 9 {
-            rng.gen_range(260..=330)
-        } else {
-            rng.gen_range(25..=90)
-        };
+        let s = if sizes.len() < 9 { rng.gen_range(260..=330) } else { rng.gen_range(25..=90) };
         let s = s.min(remaining);
         sizes.push(s);
         remaining -= s;
@@ -109,11 +104,7 @@ pub fn facebook_like<R: Rng + ?Sized>(rng: &mut R) -> Graph {
 pub fn wiki_vote_like<R: Rng + ?Sized>(rng: &mut R) -> Graph {
     let n = 7_115usize;
     let degrees = power_law_degrees(n, 1.55, 1, 300, 108_000, rng);
-    bter(
-        &degrees,
-        &BterParams { ccd: CcdSpec::Decaying { c_max: 0.05, decay: 0.55 } },
-        rng,
-    )
+    bter(&degrees, &BterParams { ccd: CcdSpec::Decaying { c_max: 0.05, decay: 0.55 } }, rng)
 }
 
 #[cfg(test)]

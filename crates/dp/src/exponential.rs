@@ -75,15 +75,16 @@ pub fn exponential_mechanism_sparse<R: Rng + ?Sized>(
     assert!(sensitivity > 0.0, "sensitivity must be positive, got {sensitivity}");
     let factor = epsilon / (2.0 * sensitivity);
     // Stabilise with the max exponent (zero-score candidates have exp 0).
-    let max_exp =
-        nonzero.iter().map(|&(_, s)| factor * s).fold(0.0f64, f64::max);
+    let max_exp = nonzero.iter().map(|&(_, s)| factor * s).fold(0.0f64, f64::max);
     let zero_count = total - nonzero.len();
     let zero_mass = zero_count as f64 * (-max_exp).exp();
-    let masses: Vec<f64> =
-        nonzero.iter().map(|&(i, s)| {
+    let masses: Vec<f64> = nonzero
+        .iter()
+        .map(|&(i, s)| {
             assert!(i < total, "candidate index {i} out of range {total}");
             (factor * s - max_exp).exp()
-        }).collect();
+        })
+        .collect();
     let total_mass = zero_mass + masses.iter().sum::<f64>();
     let mut pick = rng.gen_range(0.0..total_mass);
     for (&(i, _), &m) in nonzero.iter().zip(&masses) {
@@ -193,7 +194,8 @@ mod tests {
             sparse_counts[exponential_mechanism_sparse(&sparse, 5, 1.0, 2.0, &mut rng)] += 1;
         }
         for i in 0..5 {
-            let (d, s) = (dense_counts[i] as f64 / trials as f64, sparse_counts[i] as f64 / trials as f64);
+            let (d, s) =
+                (dense_counts[i] as f64 / trials as f64, sparse_counts[i] as f64 / trials as f64);
             assert!((d - s).abs() < 0.012, "index {i}: dense {d} sparse {s}");
         }
     }

@@ -94,10 +94,9 @@ mod tests {
     #[test]
     fn mechanism_clamps_and_centers() {
         let mut rng = StdRng::seed_from_u64(13);
-        let mean = (0..50_000)
-            .map(|_| geometric_mechanism(50, 1.0, 1.0, &mut rng) as f64)
-            .sum::<f64>()
-            / 50_000.0;
+        let mean =
+            (0..50_000).map(|_| geometric_mechanism(50, 1.0, 1.0, &mut rng) as f64).sum::<f64>()
+                / 50_000.0;
         assert!((mean - 50.0).abs() < 0.25, "mean {mean}");
         // Clamping: tiny counts with huge noise never wrap.
         for _ in 0..1000 {

@@ -85,10 +85,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let scale = 1.5;
         let n = 200_000;
-        let var = (0..n)
-            .map(|_| sample_laplace(scale, &mut rng).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = (0..n).map(|_| sample_laplace(scale, &mut rng).powi(2)).sum::<f64>() / n as f64;
         // Var = 2 scale².
         assert!((var - 2.0 * scale * scale).abs() < 0.15, "var {var}");
     }
@@ -97,10 +94,8 @@ mod tests {
     fn mechanism_centers_on_value() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 50_000;
-        let mean = (0..n)
-            .map(|_| laplace_mechanism(100.0, 1.0, 2.0, &mut rng))
-            .sum::<f64>()
-            / n as f64;
+        let mean =
+            (0..n).map(|_| laplace_mechanism(100.0, 1.0, 2.0, &mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 100.0).abs() < 0.05, "mean {mean}");
     }
 
@@ -108,9 +103,7 @@ mod tests {
     fn more_budget_less_noise() {
         let mut rng = StdRng::seed_from_u64(4);
         let spread = |eps: f64, rng: &mut StdRng| {
-            (0..20_000)
-                .map(|_| (laplace_mechanism(0.0, 1.0, eps, rng)).abs())
-                .sum::<f64>()
+            (0..20_000).map(|_| (laplace_mechanism(0.0, 1.0, eps, rng)).abs()).sum::<f64>()
                 / 20_000.0
         };
         let loose = spread(0.1, &mut rng);

@@ -156,10 +156,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(40);
         let params = SmoothParams::for_laplace(2.0, 0.01);
         let n = 50_000;
-        let mean = (0..n)
-            .map(|_| smooth_laplace_mechanism(10.0, 3.0, params, &mut rng))
-            .sum::<f64>()
-            / n as f64;
+        let mean =
+            (0..n).map(|_| smooth_laplace_mechanism(10.0, 3.0, params, &mut rng)).sum::<f64>()
+                / n as f64;
         assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
     }
 

@@ -215,8 +215,8 @@ mod tests {
 
     #[test]
     fn assortativity_in_valid_range() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
         let r = assortativity(&g).unwrap();
         assert!((-1.0..=1.0).contains(&r));
     }

@@ -42,11 +42,7 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
 /// The eccentricity (maximum finite BFS distance) of `src`, ignoring
 /// unreachable nodes. Returns 0 for isolated nodes.
 pub fn eccentricity(g: &Graph, src: NodeId) -> u32 {
-    bfs_distances(g, src)
-        .into_iter()
-        .filter(|&d| d != UNREACHABLE)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, src).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
 }
 
 /// Connected-component labelling.

@@ -128,7 +128,9 @@ fn expected_mutual_information(c: &Contingency, lf: &[f64]) -> f64 {
             for nij in lo..=hi {
                 let nij_f = nij as f64;
                 // Hypergeometric P(nij) in log space.
-                let log_p = lf[ai as usize] + lf[bj as usize] + lf[(n - ai) as usize]
+                let log_p = lf[ai as usize]
+                    + lf[bj as usize]
+                    + lf[(n - ai) as usize]
                     + lf[(n - bj) as usize]
                     - lf[n as usize]
                     - lf[nij as usize]

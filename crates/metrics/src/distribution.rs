@@ -16,9 +16,8 @@ fn normalized(weights: &[f64], len: usize, smoothing: f64) -> Vec<f64> {
         weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
         "weights must be non-negative and finite"
     );
-    let mut p: Vec<f64> = (0..len)
-        .map(|i| weights.get(i).copied().unwrap_or(0.0) + smoothing)
-        .collect();
+    let mut p: Vec<f64> =
+        (0..len).map(|i| weights.get(i).copied().unwrap_or(0.0) + smoothing).collect();
     let total: f64 = p.iter().sum();
     assert!(total > 0.0, "distribution must have positive mass");
     for x in &mut p {
@@ -36,10 +35,7 @@ pub fn kl_divergence(p_weights: &[f64], q_weights: &[f64]) -> f64 {
     let len = p_weights.len().max(q_weights.len()).max(1);
     let p = normalized(p_weights, len, KL_SMOOTHING);
     let q = normalized(q_weights, len, KL_SMOOTHING);
-    p.iter()
-        .zip(&q)
-        .map(|(&pi, &qi)| if pi > 0.0 { pi * (pi / qi).ln() } else { 0.0 })
-        .sum()
+    p.iter().zip(&q).map(|(&pi, &qi)| if pi > 0.0 { pi * (pi / qi).ln() } else { 0.0 }).sum()
 }
 
 /// Hellinger distance `(1/√2) ‖√P − √Q‖₂` (metric E4), in `[0, 1]`.

@@ -28,11 +28,7 @@ pub fn relative_error(true_value: f64, noisy_value: f64) -> f64 {
 pub fn mean_relative_error(true_values: &[f64], noisy_values: &[f64]) -> f64 {
     assert_eq!(true_values.len(), noisy_values.len(), "length mismatch");
     assert!(!true_values.is_empty(), "MRE of empty slices is undefined");
-    let sum: f64 = true_values
-        .iter()
-        .zip(noisy_values)
-        .map(|(&t, &n)| relative_error(t, n))
-        .sum();
+    let sum: f64 = true_values.iter().zip(noisy_values).map(|(&t, &n)| relative_error(t, n)).sum();
     sum / true_values.len() as f64
 }
 
@@ -54,8 +50,7 @@ pub fn mean_absolute_error(true_values: &[f64], noisy_values: &[f64]) -> f64 {
 pub fn mean_squared_error(true_values: &[f64], noisy_values: &[f64]) -> f64 {
     assert_eq!(true_values.len(), noisy_values.len(), "length mismatch");
     assert!(!true_values.is_empty(), "MSE of empty slices is undefined");
-    let sum: f64 =
-        true_values.iter().zip(noisy_values).map(|(&t, &n)| (t - n).powi(2)).sum();
+    let sum: f64 = true_values.iter().zip(noisy_values).map(|(&t, &n)| (t - n).powi(2)).sum();
     sum / true_values.len() as f64
 }
 

@@ -88,7 +88,8 @@ pub fn bter<R: Rng + ?Sized>(degrees: &[u32], params: &BterParams, rng: &mut R) 
     order.sort_unstable_by_key(|&u| degrees[u as usize]);
     let first_d2 = order.partition_point(|&u| degrees[u as usize] < 2);
 
-    let mut b = GraphBuilder::with_capacity(n, degrees.iter().map(|&d| d as usize).sum::<usize>() / 2);
+    let mut b =
+        GraphBuilder::with_capacity(n, degrees.iter().map(|&d| d as usize).sum::<usize>() / 2);
     let mut excess: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
 
     // ---- Phase 1: affinity blocks over nodes of degree ≥ 2 ----

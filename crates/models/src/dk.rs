@@ -48,7 +48,9 @@ pub fn dk2_construct<R: Rng + ?Sized>(jdd: &JointDegreeDistribution, rng: &mut R
     }
     // Wire larger degree pairs first: they are the hardest to place.
     let mut entries: Vec<(&(u32, u32), &u64)> = jdd.iter().collect();
-    entries.sort_unstable_by(|a, b| (b.0 .0 as u64 + b.0 .1 as u64).cmp(&(a.0 .0 as u64 + a.0 .1 as u64)).then(a.0.cmp(b.0)));
+    entries.sort_unstable_by(|a, b| {
+        (b.0 .0 as u64 + b.0 .1 as u64).cmp(&(a.0 .0 as u64 + a.0 .1 as u64)).then(a.0.cmp(b.0))
+    });
 
     let total_edges: u64 = jdd.values().sum();
     let mut b = GraphBuilder::with_capacity(n as usize, total_edges as usize);

@@ -49,9 +49,13 @@ pub fn havel_hakimi(degrees: &[u32]) -> Graph {
     if n == 0 {
         return Graph::new(0);
     }
-    let mut remaining: Vec<(u32, u32)> =
-        degrees.iter().enumerate().map(|(u, &d)| (d.min(n.saturating_sub(1) as u32), u as u32)).collect();
-    let mut b = GraphBuilder::with_capacity(n, degrees.iter().map(|&d| d as usize).sum::<usize>() / 2);
+    let mut remaining: Vec<(u32, u32)> = degrees
+        .iter()
+        .enumerate()
+        .map(|(u, &d)| (d.min(n.saturating_sub(1) as u32), u as u32))
+        .collect();
+    let mut b =
+        GraphBuilder::with_capacity(n, degrees.iter().map(|&d| d as usize).sum::<usize>() / 2);
     // Sort descending by remaining degree; re-sorting each round is
     // O(n log n) per round but rounds shrink fast; fine at benchmark scale.
     loop {

@@ -276,8 +276,7 @@ impl Dendrogram {
         let old = Self::term(e_ab, la * lb) + Self::term(e_q, (la + lb) * lc);
         // The two alternative configurations.
         let swap_with_b = rng.gen_bool(0.5);
-        let (new_r_children, new_er, new_eq, new_pairs_r, new_pairs_q, moved_out) = if swap_with_b
-        {
+        let (new_r_children, new_er, new_eq, new_pairs_r, new_pairs_q, moved_out) = if swap_with_b {
             // r = (A, C), q = (r, B)
             ((a, c), e_ac, e_ab + e_bc, la * lc, (la + lc) * lb, b)
         } else {
@@ -515,8 +514,9 @@ mod tests {
         }
         // ML sampling reproduces the edge count in expectation.
         let reps = 30;
-        let mean: f64 = (0..reps).map(|_| d.sample_graph(&mut rng).edge_count() as f64).sum::<f64>()
-            / reps as f64;
+        let mean: f64 =
+            (0..reps).map(|_| d.sample_graph(&mut rng).edge_count() as f64).sum::<f64>()
+                / reps as f64;
         let m = g.edge_count() as f64;
         assert!((mean - m).abs() < 0.35 * m, "mean {mean} vs m {m}");
     }

@@ -130,9 +130,7 @@ fn kronecker_moment_consistency_across_parameters() {
     use pgb_models::{Initiator, KroneckerModel};
     // Moments must be monotone in each initiator entry and consistent
     // between the exact sampler and the closed forms across a grid.
-    for &(a, b, c) in
-        &[(0.9, 0.5, 0.1), (0.7, 0.3, 0.6), (0.99, 0.4, 0.2), (0.5, 0.5, 0.5)]
-    {
+    for &(a, b, c) in &[(0.9, 0.5, 0.1), (0.7, 0.3, 0.6), (0.99, 0.4, 0.2), (0.5, 0.5, 0.5)] {
         let m = KroneckerModel { initiator: Initiator::new(a, b, c), k: 7 };
         let mut rng = StdRng::seed_from_u64(7);
         let reps = 8;

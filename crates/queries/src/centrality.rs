@@ -76,8 +76,8 @@ mod tests {
 
     #[test]
     fn normalised_output() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
         let x = evc(&g);
         let norm: f64 = x.iter().map(|v| v * v).sum();
         assert!((norm - 1.0).abs() < 1e-9);
@@ -94,11 +94,8 @@ mod tests {
     fn dominant_component_wins() {
         // K4 plus a far-away edge: the K4 (spectral radius 3) dominates
         // the pair (radius 1).
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)]).unwrap();
         let x = evc(&g);
         assert!(x[0] > 0.4);
         assert!(x[4] < 1e-6, "minor component should vanish, got {}", x[4]);

@@ -48,10 +48,7 @@ pub fn clustering_by_degree(g: &Graph) -> Vec<f64> {
             sum[d] += 2.0 * per_node[u as usize] as f64 / (d as f64 * (d as f64 - 1.0));
         }
     }
-    sum.iter()
-        .zip(&count)
-        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect()
+    sum.iter().zip(&count).map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect()
 }
 
 #[cfg(test)]
@@ -111,11 +108,8 @@ mod tests {
     #[test]
     fn gcc_acc_differ_on_heterogeneous_graph() {
         // ACC weights low-degree nodes more than GCC does.
-        let g = Graph::from_edges(
-            7,
-            [(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (0, 5), (0, 6)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (0, 5), (0, 6)]).unwrap();
         let (gcc, acc) = (global_clustering(&g), average_clustering(&g));
         assert!(gcc > 0.0 && acc > 0.0);
         assert!((gcc - acc).abs() > 0.05, "gcc {gcc} acc {acc}");

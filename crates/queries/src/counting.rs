@@ -129,11 +129,8 @@ mod tests {
 
     #[test]
     fn per_node_triangles_sum_to_three_times_total() {
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)]).unwrap();
         let per = triangles_per_node(&g);
         let total: u64 = per.iter().sum();
         assert_eq!(total, 3 * triangle_count(&g));

@@ -31,11 +31,9 @@ mod tests {
     #[test]
     fn log_binning_boundaries() {
         // Degrees: 0, 1, 2, 3, 4 → bins 0, 1, 2, 2, 3.
-        let g = Graph::from_edges(
-            8,
-            [(1, 2), (2, 3), (3, 4), (3, 1), (4, 5), (4, 6), (4, 7), (4, 1)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(8, [(1, 2), (2, 3), (3, 4), (3, 1), (4, 5), (4, 6), (4, 7), (4, 1)])
+                .unwrap();
         let binned = log_binned_degree_histogram(&g);
         let total: u64 = binned.iter().sum();
         assert_eq!(total, 8);

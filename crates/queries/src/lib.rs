@@ -51,11 +51,7 @@ pub struct QueryParams {
 
 impl Default for QueryParams {
     fn default() -> Self {
-        QueryParams {
-            path_mode: PathMode::Exact,
-            evc_max_iters: 200,
-            evc_tolerance: 1e-9,
-        }
+        QueryParams { path_mode: PathMode::Exact, evc_max_iters: 200, evc_tolerance: 1e-9 }
     }
 }
 
@@ -155,9 +151,7 @@ impl Query {
             Query::EdgeCount => QueryValue::Scalar(g.edge_count() as f64),
             Query::Triangles => QueryValue::Scalar(counting::triangle_count(g) as f64),
             Query::AverageDegree => QueryValue::Scalar(g.average_degree()),
-            Query::DegreeVariance => {
-                QueryValue::Scalar(pgb_graph::degree::degree_variance(g))
-            }
+            Query::DegreeVariance => QueryValue::Scalar(pgb_graph::degree::degree_variance(g)),
             Query::DegreeDistribution => {
                 QueryValue::Distribution(pgb_graph::degree::degree_distribution(g))
             }
@@ -179,9 +173,11 @@ impl Query {
             Query::Assortativity => {
                 QueryValue::Scalar(pgb_graph::degree::assortativity(g).unwrap_or(0.0))
             }
-            Query::EigenvectorCentrality => QueryValue::Vector(
-                centrality::eigenvector_centrality(g, params.evc_max_iters, params.evc_tolerance),
-            ),
+            Query::EigenvectorCentrality => QueryValue::Vector(centrality::eigenvector_centrality(
+                g,
+                params.evc_max_iters,
+                params.evc_tolerance,
+            )),
         }
     }
 }
@@ -222,8 +218,7 @@ mod tests {
             assert_eq!(q.id(), i + 1);
             assert!(!q.symbol().is_empty());
         }
-        let symbols: std::collections::HashSet<_> =
-            Query::ALL.iter().map(|q| q.symbol()).collect();
+        let symbols: std::collections::HashSet<_> = Query::ALL.iter().map(|q| q.symbol()).collect();
         assert_eq!(symbols.len(), 15, "symbols must be unique");
     }
 

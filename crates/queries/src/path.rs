@@ -29,11 +29,7 @@ pub struct PathStats {
 pub fn path_stats<R: Rng + ?Sized>(g: &Graph, mode: PathMode, rng: &mut R) -> PathStats {
     let n = g.node_count();
     if n == 0 {
-        return PathStats {
-            diameter: 0,
-            average_length: 0.0,
-            distance_distribution: vec![0.0],
-        };
+        return PathStats { diameter: 0, average_length: 0.0, distance_distribution: vec![0.0] };
     }
     let sources: Vec<u32> = match mode {
         PathMode::Exact => (0..n as u32).collect(),

@@ -23,10 +23,7 @@ pub fn detected_modularity<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> f64 {
 
 /// Convenience wrapper returning both the partition and its modularity
 /// from a single Louvain run.
-pub fn communities_with_modularity<R: Rng + ?Sized>(
-    g: &Graph,
-    rng: &mut R,
-) -> (Partition, f64) {
+pub fn communities_with_modularity<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> (Partition, f64) {
     let p = louvain(g, &LouvainParams::default(), rng);
     let q = modularity(g, &p);
     (p, q)

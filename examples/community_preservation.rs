@@ -28,11 +28,8 @@ fn main() {
         true_modularity
     );
 
-    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
-        Box::new(PrivGraph::default()),
-        Box::new(TmF::default()),
-        Box::new(Dgg::default()),
-    ];
+    let algorithms: Vec<Box<dyn GraphGenerator>> =
+        vec![Box::new(PrivGraph::default()), Box::new(TmF::default()), Box::new(Dgg::default())];
     println!(
         "{:<12} {:>6} {:>10} {:>12} {:>12}",
         "algorithm", "ε", "NMI", "modularity", "communities"
@@ -40,8 +37,7 @@ fn main() {
     for algo in &algorithms {
         for eps in [0.5, 2.0, 10.0] {
             let mut gen_rng = StdRng::seed_from_u64(100 + eps as u64);
-            let synthetic =
-                algo.generate(&graph, eps, &mut gen_rng).expect("valid inputs");
+            let synthetic = algo.generate(&graph, eps, &mut gen_rng).expect("valid inputs");
             let partition = louvain(&synthetic, &LouvainParams::default(), &mut gen_rng);
             let q = modularity(&synthetic, &partition);
             // NMI needs aligned node sets; all three mechanisms preserve n.

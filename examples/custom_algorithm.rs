@@ -80,11 +80,8 @@ fn main() {
         graph.density()
     );
 
-    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
-        Box::new(RandomizedResponseGen),
-        Box::new(Dgg::default()),
-        Box::new(TmF::default()),
-    ];
+    let algorithms: Vec<Box<dyn GraphGenerator>> =
+        vec![Box::new(RandomizedResponseGen), Box::new(Dgg::default()), Box::new(TmF::default())];
     let datasets = vec![(dataset.name().to_string(), graph)];
     let config = BenchmarkConfig {
         epsilons: vec![0.5, 2.0, 8.0],

@@ -21,11 +21,8 @@ fn main() {
         graph.edge_count()
     );
 
-    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
-        Box::new(TmF::default()),
-        Box::new(PrivGraph::default()),
-        Box::new(Dgg::default()),
-    ];
+    let algorithms: Vec<Box<dyn GraphGenerator>> =
+        vec![Box::new(TmF::default()), Box::new(PrivGraph::default()), Box::new(Dgg::default())];
     let datasets = vec![(dataset.name().to_string(), graph)];
     let config = BenchmarkConfig {
         epsilons: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
@@ -41,11 +38,7 @@ fn main() {
     let results = run_benchmark(&algorithms, &datasets, &config);
 
     for query in [Query::EdgeCount, Query::DegreeDistribution] {
-        println!(
-            "{} ({}) vs ε:",
-            query.symbol(),
-            pgb_core::benchmark::metric_for(query).name()
-        );
+        println!("{} ({}) vs ε:", query.symbol(), pgb_core::benchmark::metric_for(query).name());
         println!("{}", render_series(&results, dataset.name(), query));
     }
     println!("Expected: every curve trends downward as ε grows; TmF pins |E| tightly.");

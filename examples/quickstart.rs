@@ -13,11 +13,7 @@ use rand::SeedableRng;
 fn main() {
     // 1. Load a benchmark dataset (deterministic from a seed).
     let original = Dataset::Facebook.generate(0);
-    println!(
-        "original: {} nodes, {} edges",
-        original.node_count(),
-        original.edge_count()
-    );
+    println!("original: {} nodes, {} edges", original.node_count(), original.edge_count());
 
     // 2. Pick a mechanism and a privacy budget, and generate.
     let mut rng = StdRng::seed_from_u64(42);
@@ -34,12 +30,9 @@ fn main() {
     // 3. Compare utility on a few queries.
     let params = QueryParams::default();
     println!("\n{:<22} {:>12} {:>12} {:>8}", "query", "original", "synthetic", "error");
-    for query in [
-        Query::EdgeCount,
-        Query::AverageDegree,
-        Query::GlobalClustering,
-        Query::Modularity,
-    ] {
+    for query in
+        [Query::EdgeCount, Query::AverageDegree, Query::GlobalClustering, Query::Modularity]
+    {
         let t = query.evaluate(&original, &params, &mut rng);
         let s = query.evaluate(&synthetic, &params, &mut rng);
         let err = pgb_core::benchmark::compute_error(query, &t, &s);

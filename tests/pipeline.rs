@@ -3,8 +3,8 @@
 
 use pgb::prelude::*;
 use pgb_core::benchmark::report::{render_table12, render_table7};
-use pgb_core::benchmark::scoring::{best_counts_per_case, best_counts_per_query};
 use pgb_core::benchmark::run_benchmark;
+use pgb_core::benchmark::scoring::{best_counts_per_case, best_counts_per_query};
 use pgb_queries::Query;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,11 +63,8 @@ fn scoring_tables_cover_every_cell() {
     // Definition 6: per query, credits over the whole grid ≥ #cells.
     let per_query = best_counts_per_query(&results);
     for &q in &results.queries {
-        let total: usize = results
-            .algorithms
-            .iter()
-            .filter_map(|a| per_query.get(&(a.clone(), q)))
-            .sum();
+        let total: usize =
+            results.algorithms.iter().filter_map(|a| per_query.get(&(a.clone(), q))).sum();
         assert!(total >= results.epsilons.len() * results.datasets.len(), "query {q:?}");
     }
 }

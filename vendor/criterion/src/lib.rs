@@ -1,0 +1,285 @@
+//! Vendored, offline stand-in for the `criterion` benchmarking API.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of criterion's surface the PGB benches use — enough for
+//! `cargo bench` to produce wall-clock numbers and for `cargo test` to stay
+//! fast:
+//!
+//! * **Bench mode** (invoked with `--bench`, as `cargo bench` does): each
+//!   benchmark is warmed up, then timed over adaptively chosen iteration
+//!   counts for roughly the configured measurement time; mean and min/max
+//!   per-iteration times are printed.
+//! * **Test mode** (any other invocation, e.g. `cargo test` running the
+//!   bench target): benchmarks are registered but *not* executed, so the
+//!   test suite's runtime is unaffected. Upstream criterion runs each once;
+//!   skipping entirely is the cheaper choice for CI boxes.
+//!
+//! No statistics, plotting, or comparison against saved baselines.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    bench_mode: bool,
+    default_measurement: Duration,
+    default_warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+            default_measurement: Duration::from_secs(3),
+            default_warm_up: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.bench_mode {
+            let mut b = Bencher {
+                measurement: self.default_measurement,
+                warm_up: self.default_warm_up,
+                report: None,
+            };
+            f(&mut b);
+            print_report(&id.0, b.report);
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing timing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, measurement: None, warm_up: None }
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    measurement: Option<Duration>,
+    warm_up: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count. Accepted for API compatibility; the
+    /// shim sizes iteration counts from the measurement time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = Some(d);
+        self
+    }
+
+    /// Sets a throughput hint. Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.criterion.bench_mode {
+            let mut b = Bencher {
+                measurement: self.measurement.unwrap_or(self.criterion.default_measurement),
+                warm_up: self.warm_up.unwrap_or(self.criterion.default_warm_up),
+                report: None,
+            };
+            f(&mut b);
+            print_report(&format!("{}/{}", self.name, id.0), b.report);
+        }
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier; `new(function, parameter)` renders as
+/// `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput hints (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collected timing numbers for one benchmark.
+#[derive(Clone, Copy, Debug)]
+struct Report {
+    iterations: u64,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// Hands the routine under measurement to the timing loop.
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling batches until the
+    /// measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: at least one call, then until the warm-up budget is used.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Choose a batch size so each sample is ≥ ~1 ms of work.
+        let batch = if per_iter >= Duration::from_millis(1) {
+            1
+        } else {
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement || samples.is_empty() {
+            let s = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(s.elapsed() / batch as u32);
+            total_iters += batch;
+        }
+        let sum: Duration = samples.iter().sum();
+        self.report = Some(Report {
+            iterations: total_iters,
+            mean: sum / samples.len() as u32,
+            min: *samples.iter().min().expect("at least one sample"),
+            max: *samples.iter().max().expect("at least one sample"),
+        });
+    }
+}
+
+fn print_report(id: &str, report: Option<Report>) {
+    let mut line = String::new();
+    match report {
+        Some(r) => {
+            let _ = write!(
+                line,
+                "{id:<60} time: [{} {} {}]  ({} iters)",
+                fmt_duration(r.min),
+                fmt_duration(r.mean),
+                fmt_duration(r.max),
+                r.iterations
+            );
+        }
+        None => {
+            let _ = write!(line, "{id:<60} (no measurement)");
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`. In test mode (no `--bench` argument) the
+/// groups still run, but `Criterion` skips every measurement, so the binary
+/// exits immediately.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

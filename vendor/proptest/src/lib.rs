@@ -1,0 +1,159 @@
+//! Vendored, offline stand-in for the subset of the `proptest` API the PGB
+//! property suites use.
+//!
+//! Because the build environment cannot reach a crates registry, this crate
+//! re-implements the pieces the tests need:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * [`strategy::Strategy`] with range / tuple / [`strategy::Just`] /
+//!   `prop_flat_map` / `prop_map` combinators,
+//! * [`collection::vec`],
+//! * [`test_runner::Config`] (exported as `ProptestConfig`).
+//!
+//! Differences from upstream, chosen deliberately for an offline CI:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug` in
+//!   the assertion message) but is not minimised.
+//! * **Deterministic seeding.** Case `i` of every test derives its RNG from
+//!   a fixed base seed and `i`, so failures reproduce exactly; set
+//!   `PROPTEST_CASES` to change the case count (default 256).
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest!` macro: wraps each `fn name(bindings in strategies)` in a
+/// deterministic multi-case runner.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let cases = config.effective_cases();
+            let mut rejects: u32 = 0;
+            let mut case: u64 = 0;
+            let mut run: u32 = 0;
+            while run < cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                case += 1;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => { run += 1; }
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections ({rejects}) in {}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}",
+                            case - 1,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Entry: with a leading config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Entry: without a config attribute, use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the harness can report which inputs broke it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right
+                );
+            }
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left), stringify!($right), left, right, format!($($fmt)*)
+                );
+            }
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    }};
+}
+
+/// Discards the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,89 @@
+//! Test execution support: per-case RNG derivation, configuration, and the
+//! case-level error type the assertion macros return.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Wraps the workspace [`StdRng`] and derives
+/// one independent stream per (test name, case index), so each test is
+/// deterministic in isolation and insensitive to the order tests run in.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derives the RNG for case `case` of the test named `test`.
+    pub fn for_case(test: &str, case: u64) -> Self {
+        // FNV-1a over the test path keeps streams distinct between tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Access to the underlying RNG for strategies.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the message describes it.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration. Only the fields the PGB suites touch are modelled.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` discards before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+
+    /// The case count, honouring a `PROPTEST_CASES` override. A malformed
+    /// override panics rather than silently running the compiled-in count.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid PROPTEST_CASES value {v:?}: {e}")),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}

@@ -1,0 +1,69 @@
+//! Self-tests for the vendored engine: generated values respect their
+//! strategies, failing properties actually fail, and rejection works.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ranges_respect_bounds(x in 3usize..17, y in -4i32..=4, z in 0.25f64..0.75) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!((-4..=4).contains(&y));
+        prop_assert!((0.25..0.75).contains(&z));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size(v in proptest::collection::vec(0u32..10, 2..6)) {
+        prop_assert!((2..6).contains(&v.len()));
+        prop_assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn flat_map_sees_outer_value(
+        (n, v) in (1usize..20).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(0..n as u32, 0..8))
+        })
+    ) {
+        prop_assert!(v.iter().all(|&x| (x as usize) < n));
+    }
+
+    #[test]
+    fn assume_discards_cases(n in 0usize..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    fn map_applies(n in (0usize..10).prop_map(|n| n * 3)) {
+        prop_assert_eq!(n % 3, 0);
+    }
+}
+
+#[test]
+fn failing_property_panics() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x = {x} is never > 100");
+            }
+        }
+        always_fails();
+    });
+    let err = result.expect_err("a failing property must panic");
+    let msg = err.downcast_ref::<String>().expect("panic carries a message");
+    assert!(msg.contains("never > 100"), "unexpected message: {msg}");
+}
+
+#[test]
+fn case_streams_are_deterministic() {
+    use proptest::strategy::Strategy;
+    let strat = proptest::collection::vec(0u64..1000, 3..10);
+    let a: Vec<Vec<u64>> =
+        (0..20).map(|i| strat.generate(&mut TestRng::for_case("stream", i))).collect();
+    let b: Vec<Vec<u64>> =
+        (0..20).map(|i| strat.generate(&mut TestRng::for_case("stream", i))).collect();
+    assert_eq!(a, b);
+    // Different tests see different streams.
+    let c: Vec<u64> = strat.generate(&mut TestRng::for_case("other", 0));
+    assert_ne!(a[0], c);
+}
