@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks for the 15 benchmark queries on a 1000-node
-//! graph — the per-query cost profile behind the harness's evaluation
-//! loop.
+//! Criterion micro-benchmarks for the 15 benchmark queries: the per-query
+//! cost profile on a 1000-node graph, plus the suite-evaluator comparison —
+//! all 15 queries evaluated independently vs through
+//! [`QuerySuite::evaluate_all`]'s shared passes — on a 10⁴-node
+//! Barabási–Albert graph (the scale where the harness switches to sampled
+//! BFS).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pgb_queries::{PathMode, Query, QueryParams};
+use pgb_queries::{PathMode, Query, QueryParams, QuerySuite};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,5 +37,35 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+/// All-15-query evaluation on a 10⁴-node BA graph: independent per-query
+/// calls rerun the BFS sweep three times (Q7–Q9), the triangle pass three
+/// times (Q3/Q10/Q11), and Louvain twice (Q12/Q13); `evaluate_all` runs
+/// each shared pass once. The gap between the two numbers is the
+/// amortisation the benchmark runner banks on every synthetic graph.
+fn bench_suite_vs_per_query(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let g = pgb_models::barabasi_albert(10_000, 5, &mut rng);
+    // Sampled BFS — the path mode the harness uses at this scale.
+    let params =
+        QueryParams { path_mode: PathMode::Sampled { sources: 64 }, ..QueryParams::default() };
+    let mut group = c.benchmark_group("suite_10k_ba");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.bench_function("per_query/all15", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            Query::ALL.iter().map(|q| q.evaluate(&g, &params, &mut rng)).collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("evaluate_all/all15", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            QuerySuite::evaluate_all(&g, &Query::ALL, &params, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_suite_vs_per_query);
 criterion_main!(benches);

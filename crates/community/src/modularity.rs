@@ -25,10 +25,15 @@ pub fn modularity(g: &Graph, partition: &Partition) -> f64 {
     for u in g.nodes() {
         *degree.entry(partition.label(u)).or_insert(0.0) += g.degree(u) as f64;
     }
-    degree
-        .iter()
-        .map(|(c, &d)| {
-            let e = intra.get(c).copied().unwrap_or(0.0);
+    // Sum community terms in label order: float addition is not
+    // associative, so reducing in HashMap iteration order would make the
+    // last bits of Q vary between otherwise identical runs.
+    let mut communities: Vec<(u32, f64)> = degree.into_iter().collect();
+    communities.sort_unstable_by_key(|&(c, _)| c);
+    communities
+        .into_iter()
+        .map(|(c, d)| {
+            let e = intra.get(&c).copied().unwrap_or(0.0);
             e / m - (d / (2.0 * m)).powi(2)
         })
         .sum()
@@ -54,10 +59,14 @@ pub fn modularity_weighted(g: &WeightedGraph, labels: &[u32]) -> f64 {
             }
         }
     }
-    degree
-        .iter()
-        .map(|(c, &d)| {
-            let e = intra.get(c).copied().unwrap_or(0.0);
+    // Label-ordered reduction for run-to-run determinism (see
+    // `modularity`).
+    let mut communities: Vec<(u32, f64)> = degree.into_iter().collect();
+    communities.sort_unstable_by_key(|&(c, _)| c);
+    communities
+        .into_iter()
+        .map(|(c, d)| {
+            let e = intra.get(&c).copied().unwrap_or(0.0);
             e / (two_m / 2.0) - (d / two_m).powi(2)
         })
         .sum()

@@ -4,11 +4,11 @@
 use crate::benchmark::metric::{compute_error, metric_for, ErrorMetric};
 use crate::generator::GraphGenerator;
 use pgb_graph::Graph;
-use pgb_queries::{Query, QueryParams, QueryValue};
+use pgb_queries::{Query, QueryParams, QuerySuite, QueryValue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 /// Configuration of a benchmark run: the P and U of the 4-tuple plus
 /// execution knobs (M and G are passed to [`run_benchmark`] directly).
@@ -56,16 +56,23 @@ pub struct ExperimentOutcome {
     pub query: Query,
     /// The metric the error is expressed in (lower is better).
     pub metric: ErrorMetric,
-    /// Mean error over the repetitions.
+    /// Mean error over the repetitions; `NaN` when every repetition's
+    /// generation failed (`runs == 0`), so the grid stays complete.
     pub mean_error: f64,
     /// Number of repetitions averaged.
     pub runs: usize,
 }
 
 /// All outcomes of a benchmark run.
+///
+/// [`run_benchmark`] always emits the *complete* grid in a fixed layout:
+/// outcomes are ordered dataset-major, then algorithm, then ε, then query
+/// (all in their configured input order), with one entry per cell even when
+/// generation failed every repetition. [`BenchmarkResults::error`] exploits
+/// the layout for O(1) positional lookup.
 #[derive(Clone, Debug, Default)]
 pub struct BenchmarkResults {
-    /// One entry per (algorithm, dataset, ε, query).
+    /// One entry per (dataset, algorithm, ε, query), in grid order.
     pub outcomes: Vec<ExperimentOutcome>,
     /// Algorithm names in suite order.
     pub algorithms: Vec<String>,
@@ -78,17 +85,35 @@ pub struct BenchmarkResults {
 }
 
 impl BenchmarkResults {
-    /// Looks up a cell's mean error.
+    /// Looks up a cell's mean error by position in the grid layout: the
+    /// `(algorithm, dataset, ε, query)` coordinates are resolved to indices
+    /// in their respective axis vectors and the outcome is read directly —
+    /// no scan over the outcome list.
+    ///
+    /// Returns `None` for coordinates outside the grid. A cell whose every
+    /// repetition failed is present with `mean_error = NaN`. Results whose
+    /// `outcomes` were assembled by hand in some other order fall back to a
+    /// linear scan.
     pub fn error(&self, algorithm: &str, dataset: &str, epsilon: f64, query: Query) -> Option<f64> {
-        self.outcomes
-            .iter()
-            .find(|o| {
-                o.algorithm == algorithm
-                    && o.dataset == dataset
-                    && (o.epsilon - epsilon).abs() < 1e-12
-                    && o.query == query
-            })
+        let matches = |o: &ExperimentOutcome| {
+            o.algorithm == algorithm
+                && o.dataset == dataset
+                && (o.epsilon - epsilon).abs() < 1e-12
+                && o.query == query
+        };
+        let positional = || {
+            let ai = self.algorithms.iter().position(|a| a == algorithm)?;
+            let di = self.datasets.iter().position(|d| d == dataset)?;
+            let ei = self.epsilons.iter().position(|e| (e - epsilon).abs() < 1e-12)?;
+            let qi = self.queries.iter().position(|&q| q == query)?;
+            let idx = ((di * self.algorithms.len() + ai) * self.epsilons.len() + ei)
+                * self.queries.len()
+                + qi;
+            self.outcomes.get(idx).filter(|o| matches(o))
+        };
+        positional()
             .map(|o| o.mean_error)
+            .or_else(|| self.outcomes.iter().find(|o| matches(o)).map(|o| o.mean_error))
     }
 
     /// Renders all outcomes as CSV (`algorithm,dataset,epsilon,query,metric,error,runs`).
@@ -121,22 +146,21 @@ fn cell_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize, rep:
     StdRng::seed_from_u64(h)
 }
 
-/// Evaluates the configured queries on a graph.
-fn evaluate_queries(
-    g: &Graph,
-    queries: &[Query],
-    params: &QueryParams,
-    rng: &mut StdRng,
-) -> Vec<QueryValue> {
-    queries.iter().map(|q| q.evaluate(g, params, rng)).collect()
-}
-
 /// Runs the full benchmark grid: every algorithm × dataset × ε, with
 /// `config.repetitions` generations per cell, all queries evaluated per
-/// generation, and errors averaged.
+/// generation through the one-pass [`QuerySuite`] evaluator, and errors
+/// averaged.
 ///
 /// Work is distributed over `config.threads` workers (generation cells are
-/// independent); results are deterministic for a fixed seed.
+/// independent). Each worker publishes into its task's preallocated outcome
+/// slot — an atomic [`OnceLock`] write, no shared mutex — and the slot
+/// order *is* the grid order, so no post-hoc sorting pass is needed and
+/// results are deterministic (byte-identical CSV) for a fixed seed
+/// regardless of thread count.
+///
+/// Cells where every repetition's generation failed are still emitted, with
+/// `runs = 0` and `NaN` errors, so downstream reports always see the
+/// complete grid.
 pub fn run_benchmark(
     algorithms: &[Box<dyn GraphGenerator>],
     datasets: &[(String, Graph)],
@@ -148,11 +172,11 @@ pub fn run_benchmark(
         .enumerate()
         .map(|(di, (_, g))| {
             let mut rng = cell_rng(config.seed, di, usize::MAX, 0, 0);
-            evaluate_queries(g, &config.queries, &config.query_params, &mut rng)
+            QuerySuite::evaluate_all(g, &config.queries, &config.query_params, &mut rng)
         })
         .collect();
 
-    // Task grid: (dataset, algorithm, epsilon).
+    // Task grid: (dataset, algorithm, epsilon), in outcome order.
     let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
     for di in 0..datasets.len() {
         for ai in 0..algorithms.len() {
@@ -162,7 +186,8 @@ pub fn run_benchmark(
         }
     }
     let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<ExperimentOutcome>> = Mutex::new(Vec::new());
+    let slots: Vec<OnceLock<Vec<ExperimentOutcome>>> =
+        (0..tasks.len()).map(|_| OnceLock::new()).collect();
     let workers = if config.threads == 0 {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
     } else {
@@ -189,7 +214,7 @@ pub fn run_benchmark(
                         Ok(g) => g,
                         Err(_) => continue,
                     };
-                    let values = evaluate_queries(
+                    let values = QuerySuite::evaluate_all(
                         &synthetic,
                         &config.queries,
                         &config.query_params,
@@ -200,34 +225,29 @@ pub fn run_benchmark(
                     }
                     runs += 1;
                 }
-                if runs == 0 {
-                    continue;
-                }
-                let mut local = Vec::with_capacity(config.queries.len());
-                for (qi, q) in config.queries.iter().enumerate() {
-                    local.push(ExperimentOutcome {
+                let local: Vec<ExperimentOutcome> = config
+                    .queries
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, q)| ExperimentOutcome {
                         algorithm: algorithm.name().to_string(),
                         dataset: dataset_name.clone(),
                         epsilon,
                         query: *q,
                         metric: metric_for(*q),
-                        mean_error: error_sums[qi] / runs as f64,
+                        mean_error: if runs == 0 { f64::NAN } else { error_sums[qi] / runs as f64 },
                         runs,
-                    });
-                }
-                outcomes.lock().expect("no panics while holding lock").extend(local);
+                    })
+                    .collect();
+                slots[t].set(local).expect("the atomic cursor hands out each task once");
             });
         }
     });
 
-    let mut outcomes = outcomes.into_inner().expect("lock intact");
-    // Deterministic order for reports.
-    outcomes.sort_by(|a, b| {
-        (a.dataset.as_str(), a.algorithm.as_str())
-            .cmp(&(b.dataset.as_str(), b.algorithm.as_str()))
-            .then(a.epsilon.partial_cmp(&b.epsilon).expect("finite ε"))
-            .then(a.query.id().cmp(&b.query.id()))
-    });
+    let outcomes: Vec<ExperimentOutcome> = slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("every claimed task publishes its slot"))
+        .collect();
     BenchmarkResults {
         outcomes,
         algorithms: algorithms.iter().map(|a| a.name().to_string()).collect(),
@@ -240,9 +260,29 @@ pub fn run_benchmark(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::GenerateError;
     use crate::{Dgg, TmF};
 
     type Setup = (Vec<Box<dyn GraphGenerator>>, Vec<(String, Graph)>, BenchmarkConfig);
+
+    /// A generator whose every run fails — exercises the complete-grid
+    /// guarantee for `runs == 0` cells.
+    struct AlwaysFails;
+
+    impl GraphGenerator for AlwaysFails {
+        fn name(&self) -> &'static str {
+            "Fails"
+        }
+
+        fn generate(
+            &self,
+            _graph: &Graph,
+            _epsilon: f64,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Result<Graph, GenerateError> {
+            Err(GenerateError::GraphTooSmall { required: usize::MAX, actual: 0 })
+        }
+    }
 
     fn tiny_setup() -> Setup {
         let mut rng = StdRng::seed_from_u64(500);
@@ -293,6 +333,10 @@ mod tests {
         // Regression: `to_csv` output must be byte-identical between a
         // single worker and auto parallelism (threads = 0), because cell
         // RNGs are derived from the master seed, not from scheduling.
+        // The query set deliberately includes the Louvain-backed pair
+        // (CD/Mod): their randomness comes from the suite evaluator's
+        // derived per-intermediate streams and their float reductions are
+        // ordered, so even they must reproduce bit-exactly.
         let mut rng = StdRng::seed_from_u64(42);
         let datasets = vec![
             ("er".to_string(), pgb_models::erdos_renyi_gnp(50, 0.1, &mut rng)),
@@ -303,7 +347,12 @@ mod tests {
         let mut config = BenchmarkConfig {
             epsilons: vec![0.5, 5.0],
             repetitions: 2,
-            queries: vec![Query::EdgeCount, Query::Triangles],
+            queries: vec![
+                Query::EdgeCount,
+                Query::Triangles,
+                Query::CommunityDetection,
+                Query::Modularity,
+            ],
             seed: 42,
             threads: 1,
             ..Default::default()
@@ -312,8 +361,8 @@ mod tests {
         config.threads = 0; // auto: available parallelism
         let auto = run_benchmark(&algorithms, &datasets, &config).to_csv();
         assert_eq!(serial, auto, "CSV must not depend on the thread count");
-        // 2 datasets × 2 algorithms × 2 ε × 2 queries + header.
-        assert_eq!(serial.lines().count(), 17);
+        // 2 datasets × 2 algorithms × 2 ε × 4 queries + header.
+        assert_eq!(serial.lines().count(), 33);
     }
 
     #[test]
@@ -325,6 +374,73 @@ mod tests {
         let csv = results.to_csv();
         assert!(csv.lines().count() == 13); // header + 12 rows
         assert!(csv.contains("TmF,toy"));
+    }
+
+    #[test]
+    fn positional_error_lookup_covers_the_whole_grid() {
+        let (algorithms, datasets, config) = tiny_setup();
+        let results = run_benchmark(&algorithms, &datasets, &config);
+        // The positional lookup must agree with a plain scan on every cell.
+        for algo in &results.algorithms {
+            for ds in &results.datasets {
+                for &eps in &results.epsilons {
+                    for &q in &results.queries {
+                        let scanned = results
+                            .outcomes
+                            .iter()
+                            .find(|o| {
+                                o.algorithm == *algo
+                                    && o.dataset == *ds
+                                    && (o.epsilon - eps).abs() < 1e-12
+                                    && o.query == q
+                            })
+                            .map(|o| o.mean_error)
+                            .expect("grid is complete");
+                        assert_eq!(results.error(algo, ds, eps, q), Some(scanned));
+                    }
+                }
+            }
+        }
+        // Off-grid coordinates miss cleanly.
+        assert_eq!(results.error("NoSuchAlgo", "toy", 5.0, Query::EdgeCount), None);
+        assert_eq!(results.error("TmF", "toy", 3.25, Query::EdgeCount), None);
+        assert_eq!(results.error("TmF", "toy", 5.0, Query::Diameter), None);
+    }
+
+    #[test]
+    fn error_lookup_falls_back_on_hand_assembled_results() {
+        let (algorithms, datasets, config) = tiny_setup();
+        let mut results = run_benchmark(&algorithms, &datasets, &config);
+        // Scramble the grid order; lookups must still find every cell.
+        results.outcomes.reverse();
+        let e = results.error("TmF", "toy", 5.0, Query::EdgeCount);
+        assert!(e.is_some());
+    }
+
+    #[test]
+    fn failing_generator_still_emits_complete_grid() {
+        let (_, datasets, config) = tiny_setup();
+        let algorithms: Vec<Box<dyn GraphGenerator>> =
+            vec![Box::new(AlwaysFails), Box::new(TmF::default())];
+        let results = run_benchmark(&algorithms, &datasets, &config);
+        // 2 algorithms × 1 dataset × 2 ε × 3 queries — nothing dropped.
+        assert_eq!(results.outcomes.len(), 12);
+        for o in &results.outcomes {
+            if o.algorithm == "Fails" {
+                assert_eq!(o.runs, 0, "{o:?}");
+                assert!(o.mean_error.is_nan(), "{o:?}");
+            } else {
+                assert_eq!(o.runs, 2, "{o:?}");
+                assert!(o.mean_error.is_finite(), "{o:?}");
+            }
+        }
+        // The CSV grid is complete and marks the failed cells.
+        let csv = results.to_csv();
+        assert_eq!(csv.lines().count(), 13);
+        assert!(csv.contains("NaN"), "{csv}");
+        // Lookups surface the failed cell rather than pretending it ran.
+        let e = results.error("Fails", "toy", 0.5, Query::EdgeCount).unwrap();
+        assert!(e.is_nan());
     }
 
     #[test]

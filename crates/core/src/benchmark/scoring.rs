@@ -49,7 +49,9 @@ pub fn best_counts_per_query(results: &BenchmarkResults) -> HashMap<(String, Que
 }
 
 /// Finds the minimal-error algorithms for one (dataset, ε, query) cell and
-/// invokes `credit` for each.
+/// invokes `credit` for each. Cells are fetched per algorithm through
+/// [`BenchmarkResults::error`]'s positional lookup; `NaN` cells (failed
+/// generations) never win or tie.
 fn credit_winners<F: FnMut(&str)>(
     results: &BenchmarkResults,
     dataset: &str,
@@ -59,11 +61,11 @@ fn credit_winners<F: FnMut(&str)>(
 ) {
     let mut best = f64::INFINITY;
     let mut cells: Vec<(&str, f64)> = Vec::new();
-    for o in &results.outcomes {
-        if o.dataset == dataset && (o.epsilon - epsilon).abs() < 1e-12 && o.query == query {
-            cells.push((o.algorithm.as_str(), o.mean_error));
-            if o.mean_error < best {
-                best = o.mean_error;
+    for algo in &results.algorithms {
+        if let Some(err) = results.error(algo, dataset, epsilon, query) {
+            cells.push((algo.as_str(), err));
+            if err < best {
+                best = err;
             }
         }
     }

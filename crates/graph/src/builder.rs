@@ -5,10 +5,11 @@ use crate::{Graph, NodeId, Result};
 /// Accumulates edges cheaply (no per-insertion ordering work) and produces a
 /// [`Graph`] with one sort/dedup pass.
 ///
-/// All the synthetic-graph constructors in `pgb-models` emit edges in
-/// essentially random order; pushing them here and building once is
-/// `O(E log E)` total instead of `O(E · deg)` for repeated
-/// [`Graph::add_edge`] calls.
+/// This is the *only* incremental-construction path: [`Graph`] itself is an
+/// immutable CSR structure, so every constructor that discovers edges one at
+/// a time (all the synthetic-graph models, the DP mechanisms' construction
+/// phases) pushes them here and finalises once — `O(E log E)` total, ending
+/// in the two flat CSR allocations.
 ///
 /// ```
 /// use pgb_graph::GraphBuilder;

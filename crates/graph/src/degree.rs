@@ -9,39 +9,58 @@ use std::collections::HashMap;
 
 /// The degree of every node, indexed by node id.
 pub fn degree_sequence(g: &Graph) -> Vec<u32> {
-    g.nodes().map(|u| g.degree(u) as u32).collect()
+    g.degrees().collect()
 }
 
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
 /// The vector has length `max_degree + 1` (or length 1 for an empty graph).
 pub fn degree_histogram(g: &Graph) -> Vec<u64> {
     let mut hist = vec![0u64; g.max_degree() + 1];
-    for u in g.nodes() {
-        hist[g.degree(u)] += 1;
+    for d in g.degrees() {
+        hist[d as usize] += 1;
     }
     hist
+}
+
+/// Normalised degree distribution derived from a [`degree_histogram`]:
+/// `p[d] = hist[d] / n`. Returns an empty vector when `n == 0`.
+///
+/// The degree queries Q5/Q6 both reduce a histogram through this pair of
+/// `*_from_histogram` helpers, so the per-query path and the shared-pass
+/// suite evaluator in `pgb-queries` produce bit-identical values from one
+/// degree pass.
+pub fn distribution_from_histogram(hist: &[u64], n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    hist.iter().map(|&c| c as f64 / n as f64).collect()
+}
+
+/// Population degree variance `E[d²] − E[d]²` derived from a
+/// [`degree_histogram`]. 0.0 when `n == 0`.
+pub fn variance_from_histogram(hist: &[u64], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let inv_n = 1.0 / n as f64;
+    let (mut mean, mut sq) = (0.0f64, 0.0f64);
+    for (d, &c) in hist.iter().enumerate() {
+        mean += d as f64 * c as f64;
+        sq += (d as f64) * (d as f64) * c as f64;
+    }
+    sq * inv_n - (mean * inv_n) * (mean * inv_n)
 }
 
 /// Normalised degree distribution: `p[d]` = fraction of nodes with degree
 /// `d`. Returns an empty vector for the empty graph.
 pub fn degree_distribution(g: &Graph) -> Vec<f64> {
-    let n = g.node_count();
-    if n == 0 {
-        return Vec::new();
-    }
-    degree_histogram(g).iter().map(|&c| c as f64 / n as f64).collect()
+    distribution_from_histogram(&degree_histogram(g), g.node_count())
 }
 
 /// Sample variance-style degree variance `E[d²] − E[d]²` (population form,
 /// as used by the Q5 "degree variance" query). 0.0 for graphs with no nodes.
 pub fn degree_variance(g: &Graph) -> f64 {
-    let n = g.node_count();
-    if n == 0 {
-        return 0.0;
-    }
-    let mean = g.average_degree();
-    let sq: f64 = g.nodes().map(|u| (g.degree(u) as f64).powi(2)).sum();
-    sq / n as f64 - mean * mean
+    variance_from_histogram(&degree_histogram(g), g.node_count())
 }
 
 /// The dK-2 series (joint degree distribution): for every edge `{u, v}`

@@ -1,5 +1,5 @@
-//! The central [`Graph`] type: an undirected simple graph with sorted
-//! adjacency lists.
+//! The central [`Graph`] type: an undirected simple graph in compressed
+//! sparse row (CSR) layout with sorted neighbour segments.
 
 use crate::{GraphError, Result};
 
@@ -9,19 +9,41 @@ pub type NodeId = u32;
 
 /// An undirected simple graph (no self-loops, no parallel edges).
 ///
-/// Nodes are the contiguous range `0..node_count()`. Neighbour lists are kept
-/// sorted, which makes [`Graph::has_edge`] a binary search and lets triangle
-/// counting and set intersections run over sorted slices.
-#[derive(Clone, Default)]
+/// Nodes are the contiguous range `0..node_count()`. Storage is compressed
+/// sparse row: one flat `offsets` array (length `n + 1`) indexing into one
+/// flat `neighbors` array (length `2m`), so the whole adjacency structure is
+/// two allocations regardless of node count, neighbour slices of consecutive
+/// nodes are contiguous in memory, and a full adjacency scan is a single
+/// linear pass over one buffer. Each node's segment is kept sorted, which
+/// makes [`Graph::has_edge`] a binary search and lets triangle counting and
+/// set intersections run over sorted slices.
+///
+/// A `Graph` is immutable once constructed: build it with
+/// [`Graph::from_edges`] or accumulate edges incrementally through
+/// [`crate::GraphBuilder`], which finalises into CSR with one sort/dedup
+/// pass. (The pre-CSR `add_edge`/`remove_edge` entry points were removed —
+/// per-edge mutation of a flat layout would be `O(m)` per call, and no
+/// benchmark component mutates a graph after construction.)
+#[derive(Clone)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// `offsets[u]..offsets[u + 1]` is node `u`'s segment in `neighbors`.
+    /// Always `n + 1` entries; `offsets[n] == 2m`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour segments, `2m` entries.
+    neighbors: Vec<NodeId>,
     m: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0)
+    }
 }
 
 impl Graph {
     /// Creates an empty graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], m: 0 }
+        Graph { offsets: vec![0; n + 1], neighbors: Vec::new(), m: 0 }
     }
 
     /// Builds a graph from an edge iterator.
@@ -33,7 +55,6 @@ impl Graph {
     where
         I: IntoIterator<Item = (NodeId, NodeId)>,
     {
-        let mut g = Graph::new(n);
         let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
         for (u, v) in edges {
             if u as usize >= n {
@@ -49,30 +70,37 @@ impl Graph {
         }
         pairs.sort_unstable();
         pairs.dedup();
-        // Two passes: size the lists exactly, then fill them.
-        let mut deg = vec![0u32; n];
+        let m = pairs.len();
+        assert!(2 * m <= u32::MAX as usize, "graph too large for u32 CSR offsets");
+        // Counting sort into CSR: degree counts, prefix sum, then one fill
+        // pass. `pairs` is sorted lexicographically, so each node's segment
+        // comes out sorted without a per-segment sort: for node w, every
+        // back-edge write (from a pair `(u, w)`, `u < w`) happens before
+        // every forward write (from a pair `(w, v)`, `v > w`), and both
+        // write subsequences are increasing.
+        let mut offsets = vec![0u32; n + 1];
         for &(u, v) in &pairs {
-            deg[u as usize] += 1;
-            deg[v as usize] += 1;
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
         }
-        for (u, d) in deg.iter().enumerate() {
-            g.adj[u].reserve_exact(*d as usize);
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
         }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; 2 * m];
         for &(u, v) in &pairs {
-            g.adj[u as usize].push(v);
-            g.adj[v as usize].push(u);
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
         }
-        for list in &mut g.adj {
-            list.sort_unstable();
-        }
-        g.m = pairs.len();
-        Ok(g)
+        Ok(Graph { offsets, neighbors, m })
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of (undirected) edges.
@@ -87,7 +115,7 @@ impl Graph {
     /// Panics if `u` is out of range.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adj[u as usize].len()
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
     }
 
     /// Sorted neighbour slice of node `u`.
@@ -96,7 +124,18 @@ impl Graph {
     /// Panics if `u` is out of range.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.adj[u as usize]
+        &self.neighbors[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// The raw CSR arrays `(offsets, neighbors)`: `offsets` has `n + 1`
+    /// entries and node `u`'s sorted neighbour segment is
+    /// `neighbors[offsets[u] as usize..offsets[u + 1] as usize]`.
+    ///
+    /// Zero-copy view for consumers that walk the whole structure (kernels,
+    /// serialisation) without per-node slicing.
+    #[inline]
+    pub fn csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.neighbors)
     }
 
     /// Whether the edge `{u, v}` is present. Self-queries return `false`.
@@ -106,61 +145,15 @@ impl Graph {
             return false;
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adj[a as usize].binary_search(&b).is_ok()
-    }
-
-    /// Inserts the edge `{u, v}`. Returns `true` if the edge was new,
-    /// `false` for self-loops and already-present edges.
-    ///
-    /// Insertion keeps neighbour lists sorted (an `O(deg)` shift); bulk
-    /// construction should prefer [`Graph::from_edges`] or
-    /// [`crate::GraphBuilder`].
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
-        let n = self.node_count();
-        if u as usize >= n {
-            return Err(GraphError::NodeOutOfRange { node: u, n });
-        }
-        if v as usize >= n {
-            return Err(GraphError::NodeOutOfRange { node: v, n });
-        }
-        if u == v {
-            return Ok(false);
-        }
-        match self.adj[u as usize].binary_search(&v) {
-            Ok(_) => Ok(false),
-            Err(pos_u) => {
-                self.adj[u as usize].insert(pos_u, v);
-                let pos_v = self.adj[v as usize].binary_search(&u).unwrap_err();
-                self.adj[v as usize].insert(pos_v, u);
-                self.m += 1;
-                Ok(true)
-            }
-        }
-    }
-
-    /// Removes the edge `{u, v}` if present; returns whether it existed.
-    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        if u == v || u as usize >= self.node_count() || v as usize >= self.node_count() {
-            return false;
-        }
-        match self.adj[u as usize].binary_search(&v) {
-            Ok(pos_u) => {
-                self.adj[u as usize].remove(pos_u);
-                let pos_v = self.adj[v as usize].binary_search(&u).unwrap();
-                self.adj[v as usize].remove(pos_v);
-                self.m -= 1;
-                true
-            }
-            Err(_) => false,
-        }
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Iterates over all edges as `(u, v)` pairs with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            let u = u as NodeId;
-            // Each neighbour list is sorted, so the `v > u` suffix starts at
-            // the partition point; this yields every undirected edge once.
+        self.nodes().flat_map(|u| {
+            let nbrs = self.neighbors(u);
+            // Each neighbour segment is sorted, so the `v > u` suffix starts
+            // at the partition point; this yields every undirected edge once.
             let start = nbrs.partition_point(|&v| v <= u);
             nbrs[start..].iter().map(move |&v| (u, v))
         })
@@ -176,9 +169,15 @@ impl Graph {
         0..self.node_count() as NodeId
     }
 
+    /// Iterates over all node degrees in node-id order — one pass over the
+    /// offsets array, no per-node indexing.
+    pub fn degrees(&self) -> impl Iterator<Item = u32> + '_ {
+        self.offsets.windows(2).map(|w| w[1] - w[0])
+    }
+
     /// Maximum degree, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.degrees().max().unwrap_or(0) as usize
     }
 
     /// Average degree `2m / n` (0.0 for the empty graph).
@@ -229,26 +228,33 @@ impl Graph {
         (sub, order)
     }
 
-    /// Consistency check used by tests and `debug_assert!`s: sorted,
-    /// deduplicated, symmetric adjacency with no self-loops, and `m`
-    /// matching the stored lists.
+    /// Consistency check used by tests and `debug_assert!`s: well-formed
+    /// CSR (monotone offsets closing at `neighbors.len()`), sorted and
+    /// deduplicated segments, symmetric adjacency with no self-loops, and
+    /// `m` matching the stored structure.
     pub fn check_invariants(&self) -> bool {
-        let mut half_edges = 0usize;
-        for (u, nbrs) in self.adj.iter().enumerate() {
-            half_edges += nbrs.len();
+        let n = self.node_count();
+        if self.offsets[0] != 0
+            || self.offsets[n] as usize != self.neighbors.len()
+            || self.offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return false;
+        }
+        for u in self.nodes() {
+            let nbrs = self.neighbors(u);
             if !nbrs.windows(2).all(|w| w[0] < w[1]) {
                 return false; // unsorted or duplicate
             }
             for &v in nbrs {
-                if v as usize == u || v as usize >= self.node_count() {
+                if v == u || v as usize >= n {
                     return false;
                 }
-                if self.adj[v as usize].binary_search(&(u as u32)).is_err() {
+                if self.neighbors(v).binary_search(&u).is_err() {
                     return false; // asymmetric
                 }
             }
         }
-        half_edges == 2 * self.m
+        self.neighbors.len() == 2 * self.m
     }
 }
 
@@ -288,6 +294,28 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_is_flat_and_sorted() {
+        let g = triangle_plus_pendant();
+        let (offsets, neighbors) = g.csr();
+        assert_eq!(offsets, &[0, 2, 4, 7, 8]);
+        assert_eq!(neighbors, &[1, 2, 0, 2, 0, 1, 3, 2]);
+        assert_eq!(offsets.len(), g.node_count() + 1);
+        assert_eq!(neighbors.len(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn segments_sorted_without_per_segment_sort() {
+        // Edges deliberately out of order: the counting-sort fill must
+        // still leave every segment strictly increasing.
+        let g = Graph::from_edges(6, [(5, 0), (3, 1), (0, 4), (2, 0), (1, 0), (4, 3)]).unwrap();
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "node {u}: {nbrs:?}");
+        }
+        assert!(g.check_invariants());
+    }
+
+    #[test]
     fn has_edge_both_orders() {
         let g = triangle_plus_pendant();
         assert!(g.has_edge(0, 1));
@@ -297,28 +325,11 @@ mod tests {
     }
 
     #[test]
-    fn add_edge_reports_novelty() {
-        let mut g = Graph::new(3);
-        assert!(g.add_edge(0, 1).unwrap());
-        assert!(!g.add_edge(1, 0).unwrap());
-        assert!(!g.add_edge(2, 2).unwrap());
-        assert_eq!(g.edge_count(), 1);
-        assert!(g.check_invariants());
-    }
-
-    #[test]
-    fn add_edge_out_of_range_errors() {
-        let mut g = Graph::new(2);
-        assert!(g.add_edge(0, 2).is_err());
-    }
-
-    #[test]
-    fn remove_edge() {
-        let mut g = triangle_plus_pendant();
-        assert!(g.remove_edge(0, 2));
-        assert!(!g.remove_edge(0, 2));
-        assert_eq!(g.edge_count(), 3);
-        assert!(g.check_invariants());
+    fn degrees_iterator_matches_degree() {
+        let g = triangle_plus_pendant();
+        let via_iter: Vec<u32> = g.degrees().collect();
+        let via_calls: Vec<u32> = g.nodes().map(|u| g.degree(u) as u32).collect();
+        assert_eq!(via_iter, via_calls);
     }
 
     #[test]
@@ -362,6 +373,9 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.max_degree(), 0);
         assert!(g.check_invariants());
+        let d = Graph::default();
+        assert_eq!(d.node_count(), 0);
+        assert!(d.check_invariants());
     }
 
     #[test]

@@ -4,11 +4,16 @@
 //! type plus the traversal, degree-extraction, and I/O routines every other
 //! PGB crate builds on.
 //!
-//! The representation is a sorted adjacency-list structure (`Vec<Vec<u32>>`)
-//! chosen for the benchmark's workload profile: graphs of 10³–10⁵ nodes that
-//! are built once and then queried many times. Membership tests are binary
-//! searches over sorted neighbour slices; iteration over edges and neighbours
-//! is allocation-free.
+//! The representation is compressed sparse row (CSR): one flat `offsets`
+//! array (`n + 1` entries of `u32`) indexing into one flat `neighbors` array
+//! (`2m` entries), with each node's segment sorted. The layout is chosen for
+//! the benchmark's workload profile — graphs of 10³–10⁵ nodes that are built
+//! once and then queried many times: the whole adjacency structure is two
+//! allocations, full-graph scans (BFS sweeps, triangle passes, degree
+//! extraction) walk contiguous memory, and membership tests are binary
+//! searches over sorted neighbour slices. Graphs are immutable after
+//! construction; incremental accumulation goes through [`GraphBuilder`],
+//! which finalises into CSR with a single sort/dedup pass.
 //!
 //! ## Quick start
 //!

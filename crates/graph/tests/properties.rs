@@ -18,6 +18,52 @@ fn raw_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
 
 proptest! {
     #[test]
+    fn csr_matches_hashset_reference_model((n, edges) in raw_edges()) {
+        // Reference model: the edge set as a plain HashSet of canonicalised
+        // pairs, applying the same cleanup rules (self-loops dropped,
+        // duplicates collapsed) the CSR construction promises.
+        let mut reference: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            if u != v {
+                reference.insert(if u < v { (u, v) } else { (v, u) });
+            }
+        }
+        let g = Graph::from_edges(n, edges).unwrap();
+        prop_assert_eq!(g.edge_count(), reference.len());
+        prop_assert!(g.check_invariants());
+        let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+        for u in 0..n as u32 {
+            // Neighbour slices: sorted ascending, exactly the model's.
+            let expected: Vec<u32> = (0..n as u32)
+                .filter(|&v| v != u && reference.contains(&canon(u, v)))
+                .collect();
+            prop_assert_eq!(g.neighbors(u), &expected[..]);
+            prop_assert_eq!(g.degree(u), expected.len());
+        }
+        // has_edge over the full pair square, including self-queries.
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let expected = u != v && reference.contains(&canon(u, v));
+                prop_assert_eq!(g.has_edge(u, v), expected, "({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_arrays_well_formed((n, edges) in raw_edges()) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        let (offsets, neighbors) = g.csr();
+        prop_assert_eq!(offsets.len(), n + 1);
+        prop_assert_eq!(offsets[0], 0);
+        prop_assert_eq!(offsets[n] as usize, neighbors.len());
+        prop_assert_eq!(neighbors.len(), 2 * g.edge_count());
+        prop_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let degrees: Vec<u32> = g.degrees().collect();
+        let from_offsets: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        prop_assert_eq!(degrees, from_offsets);
+    }
+
+    #[test]
     fn construction_invariants((n, edges) in raw_edges()) {
         let g = Graph::from_edges(n, edges).unwrap();
         prop_assert!(g.check_invariants());

@@ -53,11 +53,21 @@ fn entropy(sums: &[u64], n: u64) -> f64 {
         .sum()
 }
 
+/// The contingency cells in row-major order. Float sums over cells must
+/// reduce in this fixed order — addition is not associative, and HashMap
+/// iteration order varies between instances, which would make metric
+/// values differ in their last bits between otherwise identical runs.
+fn sorted_cells(c: &Contingency) -> Vec<((u32, u32), u64)> {
+    let mut cells: Vec<((u32, u32), u64)> = c.cells.iter().map(|(&k, &v)| (k, v)).collect();
+    cells.sort_unstable_by_key(|&(k, _)| k);
+    cells
+}
+
 fn mutual_information(c: &Contingency) -> f64 {
     let n = c.n as f64;
-    c.cells
-        .iter()
-        .map(|(&(i, j), &nij)| {
+    sorted_cells(c)
+        .into_iter()
+        .map(|((i, j), nij)| {
             let pij = nij as f64 / n;
             let pi = c.row_sums[i as usize] as f64 / n;
             let pj = c.col_sums[j as usize] as f64 / n;
@@ -88,7 +98,7 @@ fn choose2(x: u64) -> f64 {
 /// identical partitions, ≈0 for independent ones; can be negative.
 pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
     let c = contingency(a, b);
-    let sum_cells: f64 = c.cells.values().map(|&nij| choose2(nij)).sum();
+    let sum_cells: f64 = sorted_cells(&c).into_iter().map(|(_, nij)| choose2(nij)).sum();
     let sum_rows: f64 = c.row_sums.iter().map(|&x| choose2(x)).sum();
     let sum_cols: f64 = c.col_sums.iter().map(|&x| choose2(x)).sum();
     let total = choose2(c.n);
@@ -190,9 +200,12 @@ pub fn average_f1(a: &[u32], b: &[u32]) -> f64 {
         2.0 * p * r / (p + r)
     };
     let dir = |groups: &HashMap<u32, Vec<(u32, u64)>>, sizes: &[u64], other: &[u64]| -> f64 {
+        // Deterministic reduction order (see `sorted_cells`).
+        let mut keys: Vec<u32> = groups.keys().copied().collect();
+        keys.sort_unstable();
         let mut total = 0.0;
-        for (&i, overlaps) in groups {
-            let best = overlaps
+        for i in keys {
+            let best = groups[&i]
                 .iter()
                 .map(|&(j, nij)| f1(nij, sizes[i as usize], other[j as usize]))
                 .fold(0.0f64, f64::max);

@@ -3,26 +3,26 @@
 use crate::counting::{triangles_per_node, wedge_count};
 use pgb_graph::Graph;
 
-/// Global clustering coefficient (transitivity):
+/// Global clustering coefficient from precomputed counts:
 /// `3 × triangles / wedges`, or 0.0 when the graph has no wedges.
-pub fn global_clustering(g: &Graph) -> f64 {
-    let wedges = wedge_count(g);
+///
+/// Both GCC entry points (per-query and the shared-pass suite evaluator)
+/// reduce through this helper and [`average_clustering_from_triangles`], so
+/// one triangle pass can feed Q3, Q10, and Q11 with bit-identical results.
+pub fn global_clustering_from_counts(triangles: u64, wedges: u64) -> f64 {
     if wedges == 0 {
         return 0.0;
     }
-    let triangles: u64 = triangles_per_node(g).iter().sum::<u64>() / 3;
     3.0 * triangles as f64 / wedges as f64
 }
 
-/// Average (local) clustering coefficient, Watts–Strogatz definition:
-/// the mean over *all* nodes of `2 tᵤ / (dᵤ (dᵤ − 1))`, with degree < 2
-/// nodes contributing 0 — exactly Eq. (1) of the paper.
-pub fn average_clustering(g: &Graph) -> f64 {
+/// Average (local) clustering coefficient from a precomputed per-node
+/// triangle count (see [`triangles_per_node`]).
+pub fn average_clustering_from_triangles(g: &Graph, per_node: &[u64]) -> f64 {
     let n = g.node_count();
     if n == 0 {
         return 0.0;
     }
-    let per_node = triangles_per_node(g);
     let mut total = 0.0;
     for u in g.nodes() {
         let d = g.degree(u) as f64;
@@ -31,6 +31,20 @@ pub fn average_clustering(g: &Graph) -> f64 {
         }
     }
     total / n as f64
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 × triangles / wedges`, or 0.0 when the graph has no wedges.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let triangles: u64 = triangles_per_node(g).iter().sum::<u64>() / 3;
+    global_clustering_from_counts(triangles, wedge_count(g))
+}
+
+/// Average (local) clustering coefficient, Watts–Strogatz definition:
+/// the mean over *all* nodes of `2 tᵤ / (dᵤ (dᵤ − 1))`, with degree < 2
+/// nodes contributing 0 — exactly Eq. (1) of the paper.
+pub fn average_clustering(g: &Graph) -> f64 {
+    average_clustering_from_triangles(g, &triangles_per_node(g))
 }
 
 /// Per-degree average local clustering: `out[d]` = mean local clustering

@@ -11,16 +11,23 @@
 //! | topology  | Q10 GCC, Q11 ACC, Q12 CD (community detection), Q13 Mod, Q14 Ass |
 //! | centrality| Q15 EVC (eigenvector centrality) |
 //!
-//! [`Query::evaluate`] computes any query against a graph, returning a
-//! [`QueryValue`]; the error metric pairing of Table IV lives in
-//! `pgb-core`, which compares true-vs-synthetic values.
+//! [`Query::evaluate`] computes any single query against a graph, returning
+//! a [`QueryValue`]. [`QuerySuite::evaluate_all`] evaluates a whole query
+//! subset in one pass, computing each shared intermediate (degree histogram,
+//! BFS sweep, triangle pass, Louvain run) at most once — see the [`suite`]
+//! module for the sharing plan and the RNG-stream discipline that keeps
+//! results independent of the requested subset. The error-metric pairing of
+//! Table IV lives in `pgb-core`, which compares true-vs-synthetic values.
 
 pub mod centrality;
 pub mod clustering;
 pub mod counting;
 pub mod degree;
 pub mod path;
+pub mod suite;
 pub mod topology;
+
+pub use suite::{QuerySuite, SuiteStats};
 
 use pgb_graph::Graph;
 use rand::Rng;

@@ -4,7 +4,7 @@
 use pgb_graph::Graph;
 use pgb_queries::counting::{triangle_count, wedge_count};
 use pgb_queries::path::path_stats;
-use pgb_queries::{PathMode, Query, QueryParams, QueryValue};
+use pgb_queries::{PathMode, Query, QueryParams, QuerySuite, QueryValue};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,6 +15,24 @@ fn raw_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
         (Just(n), proptest::collection::vec(edge, 0..100))
     })
 }
+
+/// The queries whose value does not depend on the RNG under
+/// `PathMode::Exact`: everything except the Louvain-backed Q12/Q13.
+const DETERMINISTIC: [Query; 13] = [
+    Query::NodeCount,
+    Query::EdgeCount,
+    Query::Triangles,
+    Query::AverageDegree,
+    Query::DegreeVariance,
+    Query::DegreeDistribution,
+    Query::Diameter,
+    Query::AveragePathLength,
+    Query::DistanceDistribution,
+    Query::GlobalClustering,
+    Query::AverageClustering,
+    Query::Assortativity,
+    Query::EigenvectorCentrality,
+];
 
 proptest! {
     #[test]
@@ -85,5 +103,52 @@ proptest! {
         let exact = path_stats(&g, PathMode::Exact, &mut rng);
         let sampled = path_stats(&g, PathMode::Sampled { sources: 5 }, &mut rng);
         prop_assert!(sampled.diameter <= exact.diameter);
+    }
+
+    #[test]
+    fn evaluate_all_matches_per_query_for_deterministic_queries(
+        (n, edges) in raw_edges(),
+        seed in 0u64..200,
+    ) {
+        // In exact path mode, every query except Louvain-backed Q12/Q13 is
+        // RNG-independent, and the suite evaluator reduces each shared
+        // intermediate through the same helpers as the per-query path —
+        // so the values must be *identical*, not merely close.
+        let g = Graph::from_edges(n, edges).unwrap();
+        let params = QueryParams::default();
+        let all = QuerySuite::evaluate_all(
+            &g,
+            &DETERMINISTIC,
+            &params,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        for (&q, suite_value) in DETERMINISTIC.iter().zip(&all) {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+            let single = q.evaluate(&g, &params, &mut rng);
+            prop_assert_eq!(&single, suite_value, "query {:?}", q);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_subset_independence((n, edges) in raw_edges(), seed in 0u64..200) {
+        // Randomised queries included: the per-intermediate RNG streams
+        // make each query's value independent of the requested subset.
+        let g = Graph::from_edges(n, edges).unwrap();
+        let params = QueryParams { path_mode: PathMode::Sampled { sources: 4 }, ..Default::default() };
+        let full = QuerySuite::evaluate_all(
+            &g,
+            &Query::ALL,
+            &params,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        for (i, &q) in Query::ALL.iter().enumerate() {
+            let alone = QuerySuite::evaluate_all(
+                &g,
+                &[q],
+                &params,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            prop_assert_eq!(&alone[0], &full[i], "query {:?}", q);
+        }
     }
 }
