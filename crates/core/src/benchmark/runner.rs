@@ -25,7 +25,14 @@ pub struct BenchmarkConfig {
     /// Master seed; every cell derives an independent deterministic
     /// stream from it.
     pub seed: u64,
-    /// Worker threads (0 ⇒ available parallelism).
+    /// Total thread budget (0 ⇒ available parallelism), shared between
+    /// cell-level workers and intra-cell generator parallelism: with `t`
+    /// threads and `c` grid cells, `w = min(t, c)` workers run their
+    /// generators under a [`crate::par`] budget of `t / w`, with the
+    /// division remainder spread one extra thread over the first `t mod w`
+    /// workers so the whole budget is in play — a 1-cell grid still
+    /// saturates the machine. Results are byte-identical for every value
+    /// of `threads` (the derived-stream discipline holds at both levels).
     pub threads: usize,
 }
 
@@ -188,58 +195,73 @@ pub fn run_benchmark(
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<Vec<ExperimentOutcome>>> =
         (0..tasks.len()).map(|_| OnceLock::new()).collect();
-    let workers = if config.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
-    } else {
-        config.threads
-    }
-    .min(tasks.len().max(1));
+    // Split the thread budget: as many cell-level workers as there are
+    // cells to keep busy, and the leftover handed to the workers as their
+    // intra-cell generator parallelism (a 1-cell grid ⇒ 1 worker with the
+    // whole budget). The division remainder is spread one thread at a time
+    // over the first workers so the full budget is in play even when it
+    // does not divide evenly. Neither split affects results.
+    let budget =
+        if config.threads == 0 { crate::par::available_parallelism() } else { config.threads };
+    let workers = budget.min(tasks.len().max(1));
+    let intra_threads = budget / workers; // ≥ 1: workers ≤ budget
+    let intra_extra = budget % workers;
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= tasks.len() {
-                    break;
-                }
-                let (di, ai, ei) = tasks[t];
-                let (dataset_name, graph) = &datasets[di];
-                let algorithm = &algorithms[ai];
-                let epsilon = config.epsilons[ei];
-                let mut error_sums = vec![0.0f64; config.queries.len()];
-                let mut runs = 0usize;
-                for rep in 0..config.repetitions.max(1) {
-                    let mut rng = cell_rng(config.seed, di, ai, ei, rep);
-                    let synthetic = match algorithm.generate(graph, epsilon, &mut rng) {
-                        Ok(g) => g,
-                        Err(_) => continue,
-                    };
-                    let values = QuerySuite::evaluate_all(
-                        &synthetic,
-                        &config.queries,
-                        &config.query_params,
-                        &mut rng,
-                    );
-                    for (qi, (q, v)) in config.queries.iter().zip(&values).enumerate() {
-                        error_sums[qi] += compute_error(*q, &true_values[di][qi], v);
+        for w in 0..workers {
+            let intra = intra_threads + usize::from(w < intra_extra);
+            // `move` captures `intra` by value; everything shared is
+            // re-bound as a reference so the workers still borrow it.
+            let (next, tasks, slots, true_values) = (&next, &tasks, &slots, &true_values);
+            scope.spawn(move || {
+                crate::par::with_parallelism(intra, || loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
                     }
-                    runs += 1;
-                }
-                let local: Vec<ExperimentOutcome> = config
-                    .queries
-                    .iter()
-                    .enumerate()
-                    .map(|(qi, q)| ExperimentOutcome {
-                        algorithm: algorithm.name().to_string(),
-                        dataset: dataset_name.clone(),
-                        epsilon,
-                        query: *q,
-                        metric: metric_for(*q),
-                        mean_error: if runs == 0 { f64::NAN } else { error_sums[qi] / runs as f64 },
-                        runs,
-                    })
-                    .collect();
-                slots[t].set(local).expect("the atomic cursor hands out each task once");
+                    let (di, ai, ei) = tasks[t];
+                    let (dataset_name, graph) = &datasets[di];
+                    let algorithm = &algorithms[ai];
+                    let epsilon = config.epsilons[ei];
+                    let mut error_sums = vec![0.0f64; config.queries.len()];
+                    let mut runs = 0usize;
+                    for rep in 0..config.repetitions.max(1) {
+                        let mut rng = cell_rng(config.seed, di, ai, ei, rep);
+                        let synthetic = match algorithm.generate(graph, epsilon, &mut rng) {
+                            Ok(g) => g,
+                            Err(_) => continue,
+                        };
+                        let values = QuerySuite::evaluate_all(
+                            &synthetic,
+                            &config.queries,
+                            &config.query_params,
+                            &mut rng,
+                        );
+                        for (qi, (q, v)) in config.queries.iter().zip(&values).enumerate() {
+                            error_sums[qi] += compute_error(*q, &true_values[di][qi], v);
+                        }
+                        runs += 1;
+                    }
+                    let local: Vec<ExperimentOutcome> = config
+                        .queries
+                        .iter()
+                        .enumerate()
+                        .map(|(qi, q)| ExperimentOutcome {
+                            algorithm: algorithm.name().to_string(),
+                            dataset: dataset_name.clone(),
+                            epsilon,
+                            query: *q,
+                            metric: metric_for(*q),
+                            mean_error: if runs == 0 {
+                                f64::NAN
+                            } else {
+                                error_sums[qi] / runs as f64
+                            },
+                            runs,
+                        })
+                        .collect();
+                    slots[t].set(local).expect("the atomic cursor hands out each task once");
+                });
             });
         }
     });
@@ -330,10 +352,13 @@ mod tests {
 
     #[test]
     fn csv_byte_identical_across_thread_counts() {
-        // Regression: `to_csv` output must be byte-identical between a
-        // single worker and auto parallelism (threads = 0), because cell
-        // RNGs are derived from the master seed, not from scheduling.
-        // The query set deliberately includes the Louvain-backed pair
+        // Regression: `to_csv` output must be byte-identical at any thread
+        // count, because cell RNGs are derived from the master seed and the
+        // generators' intra-cell parallelism follows the same derived-stream
+        // chunking discipline (`crate::par`), not scheduling order.
+        // The algorithm set deliberately includes all four generators with
+        // parallel perturbation/construction phases (TmF, DER, PrivSKG,
+        // PrivGraph); the query set includes the Louvain-backed pair
         // (CD/Mod): their randomness comes from the suite evaluator's
         // derived per-intermediate streams and their float reductions are
         // ordered, so even they must reproduce bit-exactly.
@@ -342,8 +367,12 @@ mod tests {
             ("er".to_string(), pgb_models::erdos_renyi_gnp(50, 0.1, &mut rng)),
             ("ba".to_string(), pgb_models::barabasi_albert(50, 2, &mut rng)),
         ];
-        let algorithms: Vec<Box<dyn GraphGenerator>> =
-            vec![Box::new(TmF::default()), Box::new(Dgg::default())];
+        let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
+            Box::new(TmF::default()),
+            Box::new(crate::Der::default()),
+            Box::new(crate::PrivSkg::default()),
+            Box::new(crate::PrivGraph::default()),
+        ];
         let mut config = BenchmarkConfig {
             epsilons: vec![0.5, 5.0],
             repetitions: 2,
@@ -358,11 +387,13 @@ mod tests {
             ..Default::default()
         };
         let serial = run_benchmark(&algorithms, &datasets, &config).to_csv();
-        config.threads = 0; // auto: available parallelism
-        let auto = run_benchmark(&algorithms, &datasets, &config).to_csv();
-        assert_eq!(serial, auto, "CSV must not depend on the thread count");
-        // 2 datasets × 2 algorithms × 2 ε × 4 queries + header.
-        assert_eq!(serial.lines().count(), 33);
+        // 2 datasets × 4 algorithms × 2 ε × 4 queries + header.
+        assert_eq!(serial.lines().count(), 65);
+        for threads in [2, 8, 0] {
+            config.threads = threads; // 0 ⇒ auto: available parallelism
+            let other = run_benchmark(&algorithms, &datasets, &config).to_csv();
+            assert_eq!(serial, other, "CSV must not depend on threads = {threads}");
+        }
     }
 
     #[test]

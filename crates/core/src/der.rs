@@ -10,6 +10,7 @@
 //! uniformly over its cells.
 
 use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::par;
 use pgb_dp::laplace::sample_laplace;
 use pgb_graph::{Graph, GraphBuilder};
 use rand::{Rng, RngCore};
@@ -89,59 +90,85 @@ impl GraphGenerator for Der {
         let depth = depth_needed.min(self.max_depth.max(1));
         let eps_level = epsilon / depth as f64;
 
-        let mut b = GraphBuilder::with_capacity(n, graph.edge_count());
-        // Iterative quadtree: (region, remaining_depth, noisy_count).
+        // Level-synchronous quadtree exploration. The serial version walked
+        // a DFS stack, perturbing each region as it was pushed; here every
+        // level's children are counted and perturbed in parallel chunks
+        // (regions at one level are disjoint, so their Laplace draws are
+        // independent), with per-chunk derived streams keeping the noisy
+        // counts — and therefore the tree shape — identical at any thread
+        // count. Leaves are collected in deterministic frontier order.
+        const REGION_CHUNK: usize = 8;
         let root = Region { r0: 0, r1: n as u32, c0: 0, c1: n as u32 };
         let root_count =
             (region_ones(graph, &root) as f64 + sample_laplace(1.0 / eps_level, rng)).max(0.0);
-        let mut stack = vec![(root, depth.saturating_sub(1), root_count)];
-        while let Some((region, levels_left, noisy)) = stack.pop() {
-            let cells = region.cells();
-            if cells == 0 || noisy < 0.5 {
-                continue;
-            }
-            let full = noisy >= cells as f64 * 0.98;
-            if levels_left == 0 || cells <= self.leaf_cells || full {
-                // Leaf: spread the (clamped) count uniformly.
-                let count = (noisy.round() as u64).min(cells);
-                sample_region_cells(&region, count, cells, rng, &mut b);
-                continue;
-            }
-            // Split into quadrants; each child gets a fresh noisy count at
-            // the next level's budget.
-            let rm = (region.r0 + region.r1) / 2;
-            let cm = (region.c0 + region.c1) / 2;
-            for (r0, r1, c0, c1) in [
-                (region.r0, rm, region.c0, cm),
-                (region.r0, rm, cm, region.c1),
-                (rm, region.r1, region.c0, cm),
-                (rm, region.r1, cm, region.c1),
-            ] {
-                if r0 >= r1 || c0 >= c1 {
+        let mut frontier = vec![(root, depth.saturating_sub(1), root_count)];
+        let mut leaves: Vec<(Region, u64, u64)> = Vec::new(); // (region, count, cells)
+        while !frontier.is_empty() {
+            let mut children: Vec<(Region, usize)> = Vec::new();
+            for (region, levels_left, noisy) in frontier.drain(..) {
+                let cells = region.cells();
+                if cells == 0 || noisy < 0.5 {
                     continue;
                 }
-                let child = Region { r0, r1, c0, c1 };
-                if child.cells() == 0 {
+                let full = noisy >= cells as f64 * 0.98;
+                if levels_left == 0 || cells <= self.leaf_cells || full {
+                    // Leaf: spread the (clamped) count uniformly.
+                    let count = (noisy.round() as u64).min(cells);
+                    leaves.push((region, count, cells));
                     continue;
                 }
-                let child_noisy = (region_ones(graph, &child) as f64
-                    + sample_laplace(1.0 / eps_level, rng))
-                .max(0.0);
-                stack.push((child, levels_left - 1, child_noisy));
+                // Split into quadrants; each child gets a fresh noisy count
+                // at the next level's budget.
+                let rm = (region.r0 + region.r1) / 2;
+                let cm = (region.c0 + region.c1) / 2;
+                for (r0, r1, c0, c1) in [
+                    (region.r0, rm, region.c0, cm),
+                    (region.r0, rm, cm, region.c1),
+                    (rm, region.r1, region.c0, cm),
+                    (rm, region.r1, cm, region.c1),
+                ] {
+                    if r0 >= r1 || c0 >= c1 {
+                        continue;
+                    }
+                    let child = Region { r0, r1, c0, c1 };
+                    if child.cells() == 0 {
+                        continue;
+                    }
+                    children.push((child, levels_left - 1));
+                }
             }
+            frontier = par::par_collect(children.len(), REGION_CHUNK, rng, |range, rng, out| {
+                for &(child, levels_left) in &children[range] {
+                    let child_noisy = (region_ones(graph, &child) as f64
+                        + sample_laplace(1.0 / eps_level, rng))
+                    .max(0.0);
+                    out.push((child, levels_left, child_noisy));
+                }
+            });
         }
-        Ok(b.build().expect("ids bounded by n"))
+
+        // Reconstruction: every leaf's cells are sampled on its own derived
+        // stream — leaves are coarse, uneven work items, so one item per
+        // chunk lets the worker cursor load-balance them.
+        let pairs: Vec<(u32, u32)> = par::par_collect(leaves.len(), 1, rng, |range, rng, out| {
+            for &(region, count, cells) in &leaves[range] {
+                sample_region_cells(&region, count, cells, rng, out);
+            }
+        });
+        let mut b = GraphBuilder::with_capacity(n, pairs.len());
+        b.extend(pairs);
+        Ok(b.build_parallel(par::current_parallelism()).expect("ids bounded by n"))
     }
 }
 
 /// Samples `count` distinct upper-triangle cells of `region` uniformly and
-/// pushes them as edges.
+/// pushes them as edge pairs.
 fn sample_region_cells(
     region: &Region,
     count: u64,
     cells: u64,
     rng: &mut dyn RngCore,
-    b: &mut GraphBuilder,
+    out: &mut Vec<(u32, u32)>,
 ) {
     if count == 0 {
         return;
@@ -158,7 +185,7 @@ fn sample_region_cells(
         for idx in 0..(count as usize).min(all.len()) {
             let j = rng.gen_range(idx..all.len());
             all.swap(idx, j);
-            b.push(all[idx].0, all[idx].1);
+            out.push(all[idx]);
         }
         return;
     }
@@ -176,7 +203,7 @@ fn sample_region_cells(
         }
         let j = rng.gen_range(lo..region.c1);
         if seen.insert((i, j)) {
-            b.push(i, j);
+            out.push((i, j));
             placed += 1;
         }
     }

@@ -17,7 +17,7 @@ use pgb_dp::sensitivity::{dk2_local_sensitivity_at, smooth_sensitivity, SmoothPa
 use pgb_graph::degree::{degree_histogram, joint_degree_distribution, JointDegreeDistribution};
 use pgb_graph::Graph;
 use pgb_models::dk::{dk1_construct, dk2_construct};
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 /// Which dK series DP-dK targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,10 +139,38 @@ impl GraphGenerator for DpDk {
         rng: &mut dyn RngCore,
     ) -> Result<Graph, GenerateError> {
         check_epsilon(epsilon)?;
-        Ok(match self.variant {
+        let out = match self.variant {
             DkVariant::Dk1 => self.generate_dk1(graph, epsilon, rng),
             DkVariant::Dk2 => self.generate_dk2(graph, epsilon, rng),
-        })
+        };
+        Ok(conform_node_count(out, graph.node_count(), rng))
+    }
+}
+
+/// Projects a realised dK graph onto exactly `n` nodes — the benchmark's
+/// pipeline invariant (the node set is public under Edge CDP, so this is
+/// free post-processing). The dK constructors size their output from the
+/// *noisy* series: isolated nodes vanish from a JDD and noisy histogram
+/// mass rounds away from `n`, so the realisation can come back smaller or
+/// larger. Deficits are padded with isolated nodes; surpluses are removed
+/// by a uniform induced subsample — the same projection PrivSKG applies
+/// after Kronecker sampling.
+fn conform_node_count(g: Graph, n: usize, rng: &mut dyn RngCore) -> Graph {
+    match g.node_count().cmp(&n) {
+        std::cmp::Ordering::Equal => g,
+        std::cmp::Ordering::Less => {
+            Graph::from_edges(n, g.edge_vec()).expect("ids bounded by the larger n")
+        }
+        std::cmp::Ordering::Greater => {
+            let mut ids: Vec<u32> = (0..g.node_count() as u32).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..ids.len());
+                ids.swap(i, j);
+            }
+            ids.truncate(n);
+            ids.sort_unstable();
+            g.induced_subgraph(&ids).0
+        }
     }
 }
 
@@ -224,5 +252,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(425);
         let out = DpDk::default().generate(&Graph::new(0), 1.0, &mut rng).unwrap();
         assert_eq!(out.edge_count(), 0);
+        assert_eq!(out.node_count(), 0);
+    }
+
+    #[test]
+    fn both_variants_preserve_node_count() {
+        // The noisy dK series can realise to more or fewer nodes than the
+        // input; the projection back to n is part of the generator
+        // contract (the runner's pipeline invariant).
+        let mut rng = StdRng::seed_from_u64(426);
+        let g = toy_graph(&mut rng);
+        for variant in [DkVariant::Dk1, DkVariant::Dk2] {
+            for eps in [0.1, 1.0, 100.0] {
+                let gen = DpDk { variant, delta: 0.01 };
+                let out = gen.generate(&g, eps, &mut rng).unwrap();
+                assert_eq!(out.node_count(), g.node_count(), "{} at ε={eps}", gen.name());
+                assert!(out.check_invariants());
+            }
+        }
     }
 }

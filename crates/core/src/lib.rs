@@ -38,6 +38,7 @@ pub mod der;
 pub mod dgg;
 pub mod dpdk;
 pub mod generator;
+pub mod par;
 pub mod privgraph;
 pub mod privhrg;
 pub mod privskg;

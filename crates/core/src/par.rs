@@ -1,0 +1,251 @@
+//! Deterministic intra-cell parallelism for the generators' hot loops.
+//!
+//! The benchmark runner parallelises across grid *cells*, but a grid with
+//! few (dataset, algorithm, ε) cells leaves most cores idle while TmF scans
+//! the upper triangle, DER fills its quadtree leaves, PrivSKG drops
+//! Kronecker edges, and PrivGraph samples intra/inter-community edges. All
+//! four perturbation/construction phases are embarrassingly parallel over
+//! independent regions, so this module gives them a shared harness with one
+//! hard guarantee: **output is byte-identical at any thread count**.
+//!
+//! ## The derived-stream chunking discipline
+//!
+//! [`par_collect`] splits an index range into fixed-size chunks whose
+//! boundaries depend only on `(len, chunk)` — never on the thread count —
+//! and draws exactly **one** `u64` base seed from the caller's RNG. Chunk
+//! `i` then works on its own stream [`derive_stream`]`(base, i)` (the same
+//! mixer family `QuerySuite::evaluate_all` and the runner's per-cell
+//! derivation use), and chunk outputs are concatenated in chunk order. The
+//! thread pool only decides *when* a chunk runs, not *what* it computes, so
+//! for a fixed caller seed the result is identical whether the chunks run
+//! on one thread or sixteen. Because every derived stream is independent,
+//! the sampled distribution is the same as a serial pass would produce.
+//!
+//! ## The thread budget
+//!
+//! How many workers a [`par_collect`] call may use is scoped, not global:
+//! [`with_parallelism`] pins the budget for the current thread (the runner
+//! uses it to split `BenchmarkConfig::threads` between cell-level workers
+//! and intra-cell parallelism), and [`current_parallelism`] reads it,
+//! falling back to the machine's available parallelism when unset. Nested
+//! parallel sections inside a `par_collect` worker run serially — the
+//! budget is already spent one level up.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default indices per chunk for fine-grained index work (per-edge or
+/// per-drop loops): large enough to amortise stream derivation and task
+/// handoff, small enough that an 8-way machine load-balances a
+/// few-hundred-thousand-element range.
+pub const DEFAULT_CHUNK: usize = 8192;
+
+thread_local! {
+    /// 0 ⇒ unset (fall back to available parallelism).
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// The intra-cell thread budget for the current thread: the innermost
+/// [`with_parallelism`] scope, or the machine's available parallelism when
+/// no scope is active.
+pub fn current_parallelism() -> usize {
+    let t = THREAD_BUDGET.with(Cell::get);
+    if t == 0 {
+        available_parallelism()
+    } else {
+        t
+    }
+}
+
+/// Runs `f` with the current thread's parallelism budget set to `threads`
+/// (0 ⇒ reset to the available-parallelism default), restoring the previous
+/// budget afterwards — panic-safe, scoped, and per-thread.
+///
+/// The budget only affects *scheduling*; results of the `par_collect` calls
+/// inside `f` are identical for every value of `threads`.
+pub fn with_parallelism<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUDGET.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_BUDGET.with(|c| c.replace(threads)));
+    f()
+}
+
+/// Derives the deterministic RNG for chunk `index` of a parallel section
+/// whose single caller draw was `base` — the same xorshift-multiply mixer
+/// family as the runner's per-cell and the query suite's per-intermediate
+/// derivations, so streams are independent across chunks and of the
+/// caller's subsequent draws.
+pub fn derive_stream(base: u64, index: u64) -> StdRng {
+    let mut h = base ^ 0x2545_F491_4F6C_DD1D;
+    h ^= index.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h = h.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    h ^= h >> 32;
+    StdRng::seed_from_u64(h)
+}
+
+/// The fixed chunk decomposition of `0..len`: every chunk has exactly
+/// `chunk` indices except a shorter final one. Depends only on the inputs,
+/// never on the thread count — this is what makes chunk streams stable.
+///
+/// # Panics
+/// Panics if `chunk == 0`.
+pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<Range<usize>> {
+    assert!(chunk > 0, "chunk size must be positive");
+    (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
+}
+
+/// Runs `f` once per chunk of `0..len` and returns all chunk outputs
+/// concatenated in chunk order.
+///
+/// Draws exactly one `u64` from `rng` (regardless of `len`, `chunk`, or
+/// the thread budget) and hands chunk `i` the stream
+/// [`derive_stream`]`(base, i)` plus an output vector to push into. Chunks
+/// are distributed over [`current_parallelism`] workers with a dynamic
+/// cursor, so unequal chunk costs load-balance; a budget of 1 (or a single
+/// chunk) runs inline with no thread spawn. Output, by construction, does
+/// not depend on the worker count.
+pub fn par_collect<T, F>(len: usize, chunk: usize, rng: &mut dyn RngCore, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(Range<usize>, &mut StdRng, &mut Vec<T>) + Sync,
+{
+    let base = rng.next_u64();
+    let ranges = chunk_ranges(len, chunk);
+    let workers = current_parallelism().min(ranges.len());
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for (i, r) in ranges.into_iter().enumerate() {
+            f(r, &mut derive_stream(base, i as u64), &mut out);
+        }
+        return out;
+    }
+    let slots: Vec<OnceLock<Vec<T>>> = (0..ranges.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // A worker *is* the parallelism; anything nested runs serial.
+                with_parallelism(1, || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let mut chunk_rng = derive_stream(base, i as u64);
+                    let mut out = Vec::new();
+                    f(ranges[i].clone(), &mut chunk_rng, &mut out);
+                    assert!(
+                        slots[i].set(out).is_ok(),
+                        "the atomic cursor hands out each chunk once"
+                    );
+                });
+            });
+        }
+    });
+    let parts: Vec<Vec<T>> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every claimed chunk publishes its slot"))
+        .collect();
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(3, 10), vec![0..3]);
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        chunk_ranges(5, 0);
+    }
+
+    #[test]
+    fn output_identical_across_thread_budgets() {
+        let run = |threads: usize| {
+            with_parallelism(threads, || {
+                let mut rng = StdRng::seed_from_u64(99);
+                par_collect(10_000, 128, &mut rng, |range, rng, out| {
+                    for i in range {
+                        out.push((i as u64) ^ rng.gen_range(0..1_000_000u64));
+                    }
+                })
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 10_000);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn caller_rng_advances_by_exactly_one_draw() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let _ = par_collect(5_000, 64, &mut a, |range, rng, out: &mut Vec<u64>| {
+            for _ in range {
+                out.push(rng.next_u64());
+            }
+        });
+        b.next_u64(); // the single base draw
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn with_parallelism_scopes_and_restores() {
+        let outer = current_parallelism();
+        with_parallelism(3, || {
+            assert_eq!(current_parallelism(), 3);
+            with_parallelism(1, || assert_eq!(current_parallelism(), 1));
+            assert_eq!(current_parallelism(), 3);
+        });
+        assert_eq!(current_parallelism(), outer);
+    }
+
+    #[test]
+    fn empty_range_still_draws_base() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let out = par_collect(0, 16, &mut a, |_, _, _: &mut Vec<u8>| unreachable!());
+        assert!(out.is_empty());
+        b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn derived_streams_differ_per_chunk() {
+        let mut s0 = derive_stream(42, 0);
+        let mut s1 = derive_stream(42, 1);
+        assert_ne!(
+            (0..4).map(|_| s0.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| s1.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

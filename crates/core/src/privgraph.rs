@@ -22,6 +22,7 @@
 //! sensitivity 2). Total: ε₁ + ε₂ + ε₃ = ε.
 
 use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::par;
 use pgb_community::{louvain_weighted, LouvainParams, Partition, WeightedGraph};
 use pgb_dp::exponential::exponential_mechanism_sparse;
 use pgb_dp::laplace::sample_laplace;
@@ -102,16 +103,26 @@ impl GraphGenerator for PrivGraph {
             *weights_matrix.entry(key).or_insert(0.0) += 1.0;
         }
         // Laplace on every super-pair (including empty ones — required for
-        // DP; sensitivity 1).
-        let mut noisy_super = WeightedGraph::new(s);
-        for a in 0..s as u32 {
-            for b in a..s as u32 {
-                let true_w = weights_matrix.get(&(a, b)).copied().unwrap_or(0.0);
-                let w = true_w + sample_laplace(1.0 / eps1, rng);
-                if w > 0.5 {
-                    noisy_super.add_edge(a, b, w.round());
+        // DP; sensitivity 1). The s²/2 draws are independent, so rows are
+        // chunked over derived streams; surviving super-edges come back in
+        // deterministic row order.
+        const SUPER_ROW_CHUNK: usize = 64;
+        let surviving: Vec<(u32, u32, f64)> =
+            par::par_collect(s, SUPER_ROW_CHUNK, rng, |rows, rng, out| {
+                for a in rows {
+                    for b in a..s {
+                        let key = (a as u32, b as u32);
+                        let true_w = weights_matrix.get(&key).copied().unwrap_or(0.0);
+                        let w = true_w + sample_laplace(1.0 / eps1, rng);
+                        if w > 0.5 {
+                            out.push((key.0, key.1, w.round()));
+                        }
+                    }
                 }
-            }
+            });
+        let mut noisy_super = WeightedGraph::new(s);
+        for (a, b, w) in surviving {
+            noisy_super.add_edge(a, b, w);
         }
         let super_partition = louvain_weighted(&noisy_super, &LouvainParams::default(), rng);
         let mut labels: Vec<u32> =
@@ -215,41 +226,58 @@ impl GraphGenerator for PrivGraph {
         }
 
         // ---- Phase 3: reconstruction ----
-        let mut b = GraphBuilder::with_capacity(n, graph.edge_count());
-        // Intra: Chung–Lu per community on the noisy degrees.
-        for members in &communities {
-            if members.len() < 2 {
-                continue;
-            }
-            let noisy: Vec<f64> = members
-                .iter()
-                .map(|&u| (intra_degree[u as usize] + sample_laplace(noise_scale, rng)).max(0.0))
-                .collect();
-            let local = chung_lu(&noisy, rng);
-            for (a, c) in local.edges() {
-                b.push(members[a as usize], members[c as usize]);
-            }
-        }
+        // Intra: Chung–Lu per community on the noisy degrees. Communities
+        // are independent (noise draws and wiring), so each is a work item
+        // on its own derived stream; one item per chunk lets the worker
+        // cursor balance the very uneven community sizes.
+        let intra_pairs: Vec<(NodeId, NodeId)> =
+            par::par_collect(communities.len(), 1, rng, |range, rng, out| {
+                for ci in range {
+                    let members = &communities[ci];
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let noisy: Vec<f64> = members
+                        .iter()
+                        .map(|&u| {
+                            (intra_degree[u as usize] + sample_laplace(noise_scale, rng)).max(0.0)
+                        })
+                        .collect();
+                    let local = chung_lu(&noisy, rng);
+                    for (a, c) in local.edges() {
+                        out.push((members[a as usize], members[c as usize]));
+                    }
+                }
+            });
         // Inter: noisy counts placed uniformly between community pairs
-        // (all pairs perturbed, including empty ones).
-        for a in 0..k as u32 {
-            for c in (a + 1)..k as u32 {
-                let true_w = inter_counts.get(&(a, c)).copied().unwrap_or(0.0);
-                let w = (true_w + sample_laplace(noise_scale, rng)).round();
-                if w <= 0.0 {
-                    continue;
+        // (all pairs perturbed, including empty ones). The k²/2 pairs are
+        // independent; chunk over rows of the pair triangle.
+        const INTER_ROW_CHUNK: usize = 16;
+        let inter_pairs: Vec<(NodeId, NodeId)> =
+            par::par_collect(k, INTER_ROW_CHUNK, rng, |rows, rng, out| {
+                for a in rows {
+                    for c in (a + 1)..k {
+                        let true_w =
+                            inter_counts.get(&(a as u32, c as u32)).copied().unwrap_or(0.0);
+                        let w = (true_w + sample_laplace(noise_scale, rng)).round();
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        let (ma, mc) = (&communities[a], &communities[c]);
+                        let cap = (ma.len() * mc.len()) as f64;
+                        let count = w.min(cap) as usize;
+                        for _ in 0..count {
+                            let u = ma[rng.gen_range(0..ma.len())];
+                            let v = mc[rng.gen_range(0..mc.len())];
+                            out.push((u, v));
+                        }
+                    }
                 }
-                let (ma, mc) = (&communities[a as usize], &communities[c as usize]);
-                let cap = (ma.len() * mc.len()) as f64;
-                let count = w.min(cap) as usize;
-                for _ in 0..count {
-                    let u = ma[rng.gen_range(0..ma.len())];
-                    let v = mc[rng.gen_range(0..mc.len())];
-                    b.push(u, v);
-                }
-            }
-        }
-        Ok(b.build().expect("ids bounded by n"))
+            });
+        let mut b = GraphBuilder::with_capacity(n, intra_pairs.len() + inter_pairs.len());
+        b.extend(intra_pairs);
+        b.extend(inter_pairs);
+        Ok(b.build_parallel(par::current_parallelism()).expect("ids bounded by n"))
     }
 }
 

@@ -12,9 +12,10 @@
 //! distribution in `O(m + m̃)`.
 
 use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::par;
 use pgb_dp::laplace::sample_laplace;
 use pgb_graph::{Graph, GraphBuilder};
-use pgb_models::sampling::{random_pair, sample_binomial};
+use pgb_models::sampling::sample_binomial;
 use rand::{Rng, RngCore};
 
 /// The TmF generator.
@@ -100,47 +101,96 @@ impl GraphGenerator for TmF {
         let p1 = laplace_tail(theta - 1.0, eps1);
         let p0 = laplace_tail(theta, eps1);
 
-        // Surviving true edges: a Binomial(m, p1) subsample.
-        let keep_true = sample_binomial(m as u64, p1.clamp(0.0, 1.0), rng) as usize;
-        // False positives: Binomial(N₀, p0) fresh cells.
-        let keep_false = sample_binomial(zeros, p0.clamp(0.0, 1.0), rng) as usize;
+        let (p1, p0) = (p1.clamp(0.0, 1.0), p0.clamp(0.0, 1.0));
+
+        // Surviving true edges: keeping each true edge independently with
+        // probability p1 realises the Binomial(m, p1) survivor law — and is
+        // embarrassingly parallel over fixed edge-list chunks, each on its
+        // own derived stream, so the output is thread-count-invariant.
+        let edges = graph.edge_vec();
+        let mut kept_true: Vec<(u32, u32)> =
+            par::par_collect(edges.len(), par::DEFAULT_CHUNK, rng, |range, rng, out| {
+                for &(u, v) in &edges[range] {
+                    if rng.gen_bool(p1) {
+                        out.push((u, v));
+                    }
+                }
+            });
+
+        // False positives: each of the N₀ zero-cells clears θ independently
+        // with probability p0. Rows of the upper triangle are chunked; a
+        // chunk counts its own zero-cells exactly, draws its Binomial share
+        // (independent Binomials over a partition sum to Binomial(N₀, p0)),
+        // and rejection-samples that many distinct non-edge cells within its
+        // rows. Disjoint row ranges keep cells distinct across chunks.
+        const ROW_CHUNK: usize = 1024;
+        let mut false_pos: Vec<(u32, u32)> =
+            par::par_collect(n.saturating_sub(1), ROW_CHUNK, rng, |rows, rng, out| {
+                // Per-row upper-triangle cell counts, prefix-summed so a
+                // uniform cell index maps back to (row, column).
+                let mut prefix: Vec<u64> = Vec::with_capacity(rows.len() + 1);
+                prefix.push(0);
+                let mut zeros_chunk = 0u64;
+                for i in rows.clone() {
+                    let row_cells = (n - 1 - i) as u64;
+                    let nbrs = graph.neighbors(i as u32);
+                    let row_ones = (nbrs.len() - nbrs.partition_point(|&v| v <= i as u32)) as u64;
+                    zeros_chunk += row_cells - row_ones;
+                    prefix.push(prefix.last().unwrap() + row_cells);
+                }
+                let cells_chunk = *prefix.last().unwrap();
+                let target = sample_binomial(zeros_chunk, p0, rng);
+                if target == 0 || cells_chunk == 0 {
+                    return;
+                }
+                let mut seen: std::collections::HashSet<(u32, u32)> =
+                    std::collections::HashSet::with_capacity(target as usize * 2);
+                let mut placed = 0u64;
+                let mut attempts = 0u64;
+                let max_attempts = target.saturating_mul(20) + 1000;
+                while placed < target && attempts < max_attempts {
+                    attempts += 1;
+                    let t = rng.gen_range(0..cells_chunk);
+                    let li = prefix.partition_point(|&p| p <= t) - 1;
+                    let i = (rows.start + li) as u32;
+                    let j = i + 1 + (t - prefix[li]) as u32;
+                    if !graph.has_edge(i, j) && seen.insert((i, j)) {
+                        out.push((i, j));
+                        placed += 1;
+                    }
+                }
+            });
 
         // The filter passes ≈ m̃ cells in expectation; enforce the top-m̃
         // cap by trimming false positives first (their noisy values are
-        // stochastically smaller), then true survivors.
-        let (keep_true, keep_false) = if keep_true + keep_false > m_tilde as usize {
-            let t = keep_true.min(m_tilde as usize);
+        // stochastically smaller), then true survivors. Each trimmed list
+        // must stay a *uniform* subset — the lists are in chunk order, so a
+        // plain prefix would bias survivors toward low node ids; a partial
+        // Fisher–Yates on a derived stream keeps the subset uniform and the
+        // trim decision (and the caller's RNG position) thread-invariant.
+        let (keep_true, keep_false) = if kept_true.len() + false_pos.len() > m_tilde as usize {
+            let t = kept_true.len().min(m_tilde as usize);
             (t, m_tilde as usize - t)
         } else {
-            (keep_true, keep_false)
+            (kept_true.len(), false_pos.len())
         };
-
-        let mut b = GraphBuilder::with_capacity(n, keep_true + keep_false);
-        // Reservoir-free subsample of true edges: partial Fisher–Yates on
-        // the edge list.
-        let mut edges = graph.edge_vec();
-        for i in 0..keep_true {
-            let j = rng.gen_range(i..edges.len());
-            edges.swap(i, j);
-            let (u, v) = edges[i];
-            b.push(u, v);
-        }
-        // False positives: uniform non-edges (rejection; the graphs PGB
-        // works with are sparse, so collisions are rare).
-        let mut placed = 0usize;
-        let mut attempts = 0usize;
-        let max_attempts = keep_false.saturating_mul(20) + 1000;
-        let mut seen: std::collections::HashSet<(u32, u32)> =
-            std::collections::HashSet::with_capacity(keep_false * 2);
-        while placed < keep_false && attempts < max_attempts {
-            attempts += 1;
-            let (u, v) = random_pair(n, rng);
-            if !graph.has_edge(u, v) && seen.insert((u, v)) {
-                b.push(u, v);
-                placed += 1;
+        if keep_true < kept_true.len() || keep_false < false_pos.len() {
+            let mut trim_rng = par::derive_stream(rng.next_u64(), 0);
+            for (list, keep) in [(&mut kept_true, keep_true), (&mut false_pos, keep_false)] {
+                if keep >= list.len() {
+                    continue; // this list survives whole; only the other is cut
+                }
+                for i in 0..keep {
+                    let j = trim_rng.gen_range(i..list.len());
+                    list.swap(i, j);
+                }
+                list.truncate(keep);
             }
         }
-        Ok(b.build().expect("ids bounded by n"))
+        let mut b = GraphBuilder::with_capacity(n, keep_true + keep_false);
+        b.extend(kept_true);
+        b.extend(false_pos);
+        Ok(b.build_parallel(par::current_parallelism()).expect("ids bounded by n"))
     }
 }
 

@@ -1,0 +1,88 @@
+//! Table-driven conformance contract over the full algorithm suite: every
+//! generator — the six of Table V plus DER — validates ε the same way,
+//! degrades gracefully on graphs too small for its representation, and
+//! preserves the input's node count (the pipeline invariant the benchmark
+//! runner and the query-error metrics rely on).
+
+use pgb_core::{standard_suite, Der, GenerateError, GraphGenerator};
+use pgb_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All 7 generators: the standard suite plus the appendix-C DER baseline.
+fn all_generators() -> Vec<Box<dyn GraphGenerator>> {
+    let mut algos = standard_suite();
+    algos.push(Box::new(Der::default()));
+    algos
+}
+
+#[test]
+fn suite_has_the_expected_seven() {
+    let names: Vec<&str> = all_generators().iter().map(|a| a.name()).collect();
+    assert_eq!(names, ["DP-dK", "TmF", "PrivSKG", "PrivHRG", "PrivGraph", "DGG", "DER"]);
+}
+
+#[test]
+fn every_generator_rejects_invalid_epsilon() {
+    let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+    for algo in all_generators() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut rng = StdRng::seed_from_u64(9000);
+            match algo.generate(&g, bad, &mut rng) {
+                Err(GenerateError::InvalidEpsilon(e)) => {
+                    // The error must carry the offending value (NaN
+                    // compares unequal to itself — compare bit patterns).
+                    assert_eq!(e.to_bits(), bad.to_bits(), "{} at ε={bad}", algo.name());
+                }
+                other => panic!(
+                    "{} must reject ε = {bad} with InvalidEpsilon, got {other:?}",
+                    algo.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_generator_honors_graph_too_small() {
+    // On inputs below a mechanism's representational minimum the contract
+    // allows exactly two outcomes: a valid graph that still has the
+    // input's node count, or a GraphTooSmall error whose fields are
+    // consistent (required > actual = input size). Panics and node-count
+    // drift are conformance failures.
+    for n in [0usize, 1, 2, 3] {
+        let g = if n >= 2 { Graph::from_edges(n, [(0, 1)]).unwrap() } else { Graph::new(n) };
+        for algo in all_generators() {
+            let mut rng = StdRng::seed_from_u64(9100 + n as u64);
+            match algo.generate(&g, 1.0, &mut rng) {
+                Ok(out) => {
+                    assert_eq!(out.node_count(), n, "{} changed n for n={n}", algo.name());
+                    assert!(out.check_invariants(), "{} invalid output at n={n}", algo.name());
+                }
+                Err(GenerateError::GraphTooSmall { required, actual }) => {
+                    assert_eq!(actual, n, "{} misreported the input size", algo.name());
+                    assert!(required > n, "{} claims required {required} ≤ {n}", algo.name());
+                }
+                Err(other) => {
+                    panic!("{} failed on n={n} with non-size error {other:?}", algo.name())
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_generator_preserves_node_count() {
+    let mut rng = StdRng::seed_from_u64(9200);
+    let g = pgb_models::erdos_renyi_gnp(48, 0.12, &mut rng);
+    for algo in all_generators() {
+        for eps in [0.1, 1.0, 10.0] {
+            let mut rng = StdRng::seed_from_u64(9300);
+            let out = algo
+                .generate(&g, eps, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed at ε={eps}: {e}", algo.name()));
+            assert_eq!(out.node_count(), 48, "{} at ε={eps}", algo.name());
+            assert!(out.check_invariants(), "{} at ε={eps}", algo.name());
+        }
+    }
+}

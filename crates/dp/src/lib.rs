@@ -14,6 +14,9 @@
 //!   (used by DP-dK and PrivSKG).
 //! * [`budget`] — ε/δ privacy parameters and sequential-composition budget
 //!   accounting.
+//! * [`testing`] — statistical assertion helpers (moment checks with
+//!   standard-error tolerances, Pearson χ²) the mechanism tests verify
+//!   their closed forms with.
 //!
 //! All sampling is generic over [`rand::Rng`] so benchmark runs are
 //! reproducible from a seed.
@@ -36,6 +39,7 @@ pub mod geometric;
 pub mod laplace;
 pub mod randomized_response;
 pub mod sensitivity;
+pub mod testing;
 
 pub use budget::{Budget, BudgetError, PrivacyParams};
 pub use exponential::exponential_mechanism;

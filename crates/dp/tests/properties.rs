@@ -123,6 +123,71 @@ proptest! {
     }
 
     #[test]
+    fn budget_arbitrary_op_sequences_never_overdraw(
+        total in 0.01f64..10.0,
+        ops in proptest::collection::vec((0usize..3, 0.001f64..2.0, 1usize..4), 1..24),
+    ) {
+        // Ops: 0 ⇒ spend(x), 1 ⇒ split over k equal weights, 2 ⇒
+        // spend_remaining. Whatever interleaving, the accounting
+        // invariants hold after every step: nothing spent beyond the
+        // total (modulo the documented fp slack), and consumed +
+        // remaining ≡ ε at all times.
+        let mut b = Budget::new(total).unwrap();
+        for (op, x, k) in ops {
+            let before = b.spent();
+            match op {
+                0 => {
+                    match b.spend(x) {
+                        Ok(granted) => prop_assert!((granted - x).abs() < 1e-12),
+                        // A failed spend must not consume anything.
+                        Err(_) => prop_assert!((b.spent() - before).abs() < 1e-12),
+                    }
+                }
+                1 => {
+                    if let Ok(shares) = b.split(&vec![1.0; k]) {
+                        // A split consumes exactly what it hands out.
+                        let handed: f64 = shares.iter().sum();
+                        prop_assert!((b.spent() - before - handed).abs() < 1e-9);
+                        prop_assert!(shares.iter().all(|&s| s > 0.0));
+                    }
+                }
+                _ => {
+                    let r = b.spend_remaining();
+                    prop_assert!((b.spent() - before - r).abs() < 1e-12);
+                }
+            }
+            prop_assert!(b.spent() <= b.total() + 1e-9, "overdraw: {} > {}", b.spent(), b.total());
+            prop_assert!((b.spent() + b.remaining() - total).abs() < 1e-9,
+                "consumed {} + remaining {} != total {total}", b.spent(), b.remaining());
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_always_errors(
+        total in 0.01f64..10.0,
+        request in 0.001f64..10.0,
+        k in 1usize..5,
+        drain_by_split in 0usize..2,
+    ) {
+        // However the budget was drained — split or spend_remaining —
+        // every further spend and split must error, and the error must be
+        // Exhausted (not a validation artefact).
+        let mut b = Budget::new(total).unwrap();
+        if drain_by_split == 1 {
+            b.split(&vec![1.0; k]).unwrap();
+        } else {
+            b.spend_remaining();
+        }
+        prop_assert!(b.remaining() < 1e-12);
+        let spend_exhausted =
+            matches!(b.spend(request).unwrap_err(), pgb_dp::BudgetError::Exhausted { .. });
+        prop_assert!(spend_exhausted, "spend after drain must report Exhausted");
+        let split_exhausted =
+            matches!(b.split(&vec![1.0; k]).unwrap_err(), pgb_dp::BudgetError::Exhausted { .. });
+        prop_assert!(split_exhausted, "split after drain must report Exhausted");
+    }
+
+    #[test]
     fn smooth_sensitivity_bounds(
         d_max in 1usize..1000,
         eps in 0.05f64..10.0,

@@ -64,6 +64,15 @@ impl GraphBuilder {
     pub fn build(self) -> Result<Graph> {
         Graph::from_edges(self.n, self.edges)
     }
+
+    /// Finalises with the sort/dedup pass spread over up to `threads`
+    /// workers (0 ⇒ available parallelism) — see [`Graph::from_edge_vec`].
+    /// Produces exactly the same graph as [`GraphBuilder::build`]; the
+    /// generators' parallel construction phases use this so the final
+    /// builder pass is not the one serial stage left on a big edge list.
+    pub fn build_parallel(self, threads: usize) -> Result<Graph> {
+        Graph::from_edge_vec(self.n, self.edges, threads)
+    }
 }
 
 #[cfg(test)]

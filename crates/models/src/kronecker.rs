@@ -138,21 +138,49 @@ impl KroneckerModel {
     /// standard generator PrivSKG builds on.
     pub fn sample_fast<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
         let n = self.node_count();
+        if self.initiator.total() <= 0.0 {
+            return Graph::new(n);
+        }
+        let drops = self.sample_drop_count(rng);
+        let mut pairs = Vec::with_capacity(drops as usize);
+        self.sample_drops(drops, rng, &mut pairs);
+        let mut builder = GraphBuilder::with_capacity(n, pairs.len());
+        builder.extend(pairs);
+        builder.build().expect("ids bounded by n")
+    }
+
+    /// Draws the number of ball drops for one [`KroneckerModel::sample_fast`]
+    /// realisation: Binomial-dithered around the expected undirected edge
+    /// count (each drop becomes one undirected edge candidate; duplicates
+    /// collapse later in the builder).
+    pub fn sample_drop_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let n = self.node_count();
+        let cells = (n as u64).saturating_mul(n as u64 - 1) / 2;
+        let p_cell = (self.expected_edges() / cells.max(1) as f64).min(1.0);
+        sample_binomial(cells, p_cell, rng)
+    }
+
+    /// Routes `count` ball drops down the Kronecker hierarchy quadrant by
+    /// quadrant, pushing each non-diagonal landing as a raw node pair.
+    ///
+    /// This is the independent per-drop kernel behind
+    /// [`KroneckerModel::sample_fast`], exposed so callers can split the
+    /// drop total into chunks with independent RNG streams (PrivSKG's
+    /// parallel construction phase) — the pushed pairs still need the
+    /// builder's dedup pass.
+    pub fn sample_drops<R: Rng + ?Sized>(
+        &self,
+        count: u64,
+        rng: &mut R,
+        out: &mut Vec<(u32, u32)>,
+    ) {
         let Initiator { a, b, c: _ } = self.initiator;
         let total = self.initiator.total();
         if total <= 0.0 {
-            return Graph::new(n);
+            return;
         }
-        // Each drop becomes one undirected edge candidate, so the drop
-        // count is Binomial-dithered around the expected undirected edge
-        // count (duplicate drops then collapse in the builder).
-        let undirected_mass = self.expected_edges();
-        let cells = (n as u64).saturating_mul(n as u64 - 1) / 2;
-        let p_cell = (undirected_mass / cells.max(1) as f64).min(1.0);
-        let drops = sample_binomial(cells, p_cell, rng);
-        let mut builder = GraphBuilder::with_capacity(n, (drops / 2) as usize + 8);
         let (pa, pb) = (a / total, b / total);
-        for _ in 0..drops {
+        for _ in 0..count {
             let (mut u, mut v) = (0usize, 0usize);
             for _ in 0..self.k {
                 let r: f64 = rng.gen_range(0.0f64..1.0);
@@ -169,10 +197,9 @@ impl KroneckerModel {
                 v = (v << 1) | bv;
             }
             if u != v {
-                builder.push(u as u32, v as u32);
+                out.push((u as u32, v as u32));
             }
         }
-        builder.build().expect("ids bounded by n")
     }
 }
 
