@@ -1,5 +1,7 @@
 //! Minimal argument parsing shared by the harness binaries.
 
+use pgb_core::benchmark::Scheduler;
+
 /// Experiment scale presets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -34,11 +36,21 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Worker threads (0 ⇒ available parallelism).
     pub threads: usize,
+    /// Thread scheduler (`--sched static|elastic`; elastic default). The
+    /// static split is an escape hatch / baseline — output is
+    /// byte-identical either way, only wall-clock differs.
+    pub sched: Scheduler,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: Scale::Small, reps: None, seed: 0, threads: 0 }
+        HarnessArgs {
+            scale: Scale::Small,
+            reps: None,
+            seed: 0,
+            threads: 0,
+            sched: Scheduler::default(),
+        }
     }
 }
 
@@ -74,6 +86,11 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --threads: {e}"))?;
                 }
+                "--sched" => {
+                    out.sched = value_of("--sched")?
+                        .parse()
+                        .map_err(|e| format!("invalid --sched: {e}"))?;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -87,7 +104,8 @@ impl HarnessArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--scale small|medium|paper] [--reps N] [--seed N] [--threads N]"
+                    "usage: [--scale small|medium|paper] [--reps N] [--seed N] [--threads N] \
+                     [--sched static|elastic]"
                 );
                 std::process::exit(2);
             }
@@ -114,16 +132,37 @@ mod tests {
         assert_eq!(a.scale, Scale::Small);
         assert_eq!(a.repetitions(), 2);
         assert_eq!(a.seed, 0);
+        assert_eq!(a.sched, Scheduler::Elastic);
     }
 
     #[test]
     fn full_parse() {
-        let a =
-            parse(&["--scale", "paper", "--reps", "3", "--seed", "9", "--threads", "4"]).unwrap();
+        let a = parse(&[
+            "--scale",
+            "paper",
+            "--reps",
+            "3",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--sched",
+            "static",
+        ])
+        .unwrap();
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.repetitions(), 3); // override wins
         assert_eq!(a.seed, 9);
         assert_eq!(a.threads, 4);
+        assert_eq!(a.sched, Scheduler::Static);
+    }
+
+    #[test]
+    fn sched_parses_both_modes() {
+        assert_eq!(parse(&["--sched", "elastic"]).unwrap().sched, Scheduler::Elastic);
+        assert_eq!(parse(&["--sched", "static"]).unwrap().sched, Scheduler::Static);
+        assert!(parse(&["--sched", "greedy"]).is_err());
+        assert!(parse(&["--sched"]).is_err());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub fn benchmark_config(args: &HarnessArgs, max_nodes: usize) -> BenchmarkConfig
         query_params: query_params_for(max_nodes),
         seed: args.seed,
         threads: args.threads,
+        sched: args.sched,
         ..Default::default()
     }
 }
@@ -84,5 +85,13 @@ mod tests {
         assert_eq!(c.repetitions, 2);
         assert_eq!(c.seed, 7);
         assert_eq!(c.queries.len(), 15);
+        assert_eq!(c.sched, pgb_core::benchmark::Scheduler::Elastic);
+    }
+
+    #[test]
+    fn config_propagates_sched_escape_hatch() {
+        use pgb_core::benchmark::Scheduler;
+        let args = HarnessArgs { sched: Scheduler::Static, ..Default::default() };
+        assert_eq!(benchmark_config(&args, 100).sched, Scheduler::Static);
     }
 }

@@ -93,12 +93,42 @@ pub fn compute_error(query: Query, true_value: &QueryValue, synthetic: &QueryVal
 
 /// Truncates or extends a label vector to `len`; new nodes become fresh
 /// singleton communities.
+///
+/// Fresh labels are guaranteed not to occur in `labels` (and to be
+/// distinct from each other): they count up from `max + 1`, and when the
+/// label space past the maximum is exhausted — `u32::MAX` is a used label
+/// — they fall back to scanning from `0` for unused values. The old
+/// `wrapping_add` padding wrapped back to label `0` in that case,
+/// silently merging padded nodes into an existing community and
+/// corrupting the NMI score.
 fn align_partition(labels: &[u32], len: usize) -> Vec<u32> {
     let mut out: Vec<u32> = labels.iter().take(len).copied().collect();
-    let mut fresh = labels.iter().copied().max().unwrap_or(0);
-    while out.len() < len {
-        fresh = fresh.wrapping_add(1);
-        out.push(fresh);
+    if out.len() >= len {
+        return out;
+    }
+    let needed = (len - out.len()) as u64;
+    // Arithmetic in u64 so `max + needed` cannot wrap. Labels strictly
+    // above the current maximum can never collide with a used one, so the
+    // common path is allocation-free and sequential.
+    let start = labels.iter().copied().max().map_or(0u64, |m| m as u64 + 1);
+    if start + needed - 1 <= u32::MAX as u64 {
+        out.extend((start..start + needed).map(|l| l as u32));
+    } else {
+        // The space past the maximum is too small (`u32::MAX` is a used
+        // label): scan from 0 for values not present in `labels`.
+        let used: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        let mut candidate = 0u64;
+        while out.len() < len {
+            while candidate <= u32::MAX as u64 && used.contains(&(candidate as u32)) {
+                candidate += 1;
+            }
+            assert!(
+                candidate <= u32::MAX as u64,
+                "fresh-label space exhausted: {len} distinct labels needed"
+            );
+            out.push(candidate as u32);
+            candidate += 1;
+        }
     }
     out
 }
@@ -144,6 +174,45 @@ mod tests {
         let s = QueryValue::Partition(vec![0, 0, 1, 1, 2, 2]); // grew
         let e = compute_error(Query::CommunityDetection, &t, &s);
         assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn fresh_labels_never_collide_at_u32_max() {
+        // Regression: with `u32::MAX` present, the old `wrapping_add`
+        // padding wrapped fresh labels back to 0 and silently merged the
+        // padded nodes into community 0, corrupting NMI.
+        let aligned = align_partition(&[0, 0, u32::MAX], 6);
+        assert_eq!(&aligned[..3], &[0, 0, u32::MAX]);
+        let fresh = &aligned[3..];
+        // Fresh labels are unused and pairwise distinct — every padded
+        // node is a genuine singleton community.
+        for (i, &f) in fresh.iter().enumerate() {
+            assert!(!aligned[..3].contains(&f), "fresh label {f} collides with a used one");
+            assert!(!fresh[..i].contains(&f), "fresh label {f} repeated");
+        }
+
+        // End-to-end: the padded nodes must behave as singletons, exactly
+        // like an alignment whose label space has room after the maximum.
+        let t = QueryValue::Partition(vec![0, 0, 1, 1, 2, 2]);
+        let wrapping = QueryValue::Partition(vec![0, 0, u32::MAX]);
+        let roomy = QueryValue::Partition(vec![0, 0, 7]);
+        let e_wrap = compute_error(Query::CommunityDetection, &t, &wrapping);
+        let e_room = compute_error(Query::CommunityDetection, &t, &roomy);
+        assert!((e_wrap - e_room).abs() < 1e-12, "{e_wrap} vs {e_room}");
+    }
+
+    #[test]
+    fn fresh_labels_fill_gaps_when_tail_space_is_short() {
+        // max = u32::MAX − 1 with three nodes to pad: only one label fits
+        // past the maximum, so the fallback scan must supply the rest from
+        // the unused low end without colliding.
+        let labels = [5, u32::MAX - 1];
+        let aligned = align_partition(&labels, 5);
+        assert_eq!(&aligned[..2], &labels);
+        let mut all = aligned.clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), aligned.len(), "labels must be pairwise distinct: {aligned:?}");
     }
 
     #[test]

@@ -16,5 +16,5 @@ pub mod scoring;
 
 pub use metric::{compute_error, metric_for, ErrorMetric};
 pub use report::TextTable;
-pub use runner::{run_benchmark, BenchmarkConfig, BenchmarkResults, ExperimentOutcome};
+pub use runner::{run_benchmark, BenchmarkConfig, BenchmarkResults, ExperimentOutcome, Scheduler};
 pub use scoring::{best_counts_per_case, best_counts_per_query};

@@ -3,6 +3,7 @@
 
 use crate::benchmark::metric::{compute_error, metric_for, ErrorMetric};
 use crate::generator::GraphGenerator;
+use crate::par::BudgetLedger;
 use pgb_graph::Graph;
 use pgb_queries::{Query, QueryParams, QuerySuite, QueryValue};
 use rand::rngs::StdRng;
@@ -26,14 +27,16 @@ pub struct BenchmarkConfig {
     /// stream from it.
     pub seed: u64,
     /// Total thread budget (0 ⇒ available parallelism), shared between
-    /// cell-level workers and intra-cell generator parallelism: with `t`
-    /// threads and `c` grid cells, `w = min(t, c)` workers run their
-    /// generators under a [`crate::par`] budget of `t / w`, with the
-    /// division remainder spread one extra thread over the first `t mod w`
-    /// workers so the whole budget is in play — a 1-cell grid still
-    /// saturates the machine. Results are byte-identical for every value
-    /// of `threads` (the derived-stream discipline holds at both levels).
+    /// task-level workers and intra-cell generator parallelism. How the
+    /// budget is divided over the task queue is the [`Scheduler`]'s job
+    /// (see [`BenchmarkConfig::sched`]); either way, results are
+    /// byte-identical for every value of `threads` (the derived-stream
+    /// discipline holds at both levels).
     pub threads: usize,
+    /// How the thread budget follows the draining task queue — see
+    /// [`Scheduler`]. Scheduling only: both variants produce byte-identical
+    /// CSV for a fixed seed.
+    pub sched: Scheduler,
 }
 
 impl Default for BenchmarkConfig {
@@ -45,6 +48,56 @@ impl Default for BenchmarkConfig {
             query_params: QueryParams::default(),
             seed: 0,
             threads: 0,
+            sched: Scheduler::default(),
+        }
+    }
+}
+
+/// How [`run_benchmark`] divides [`BenchmarkConfig::threads`] over the
+/// grid's task queue.
+///
+/// Both schedulers honour the same derived-stream discipline (every
+/// repetition runs on `cell_rng(seed, dataset, algorithm, ε, rep)` and
+/// per-cell errors reduce in repetition order), so **output is
+/// byte-identical between the two** — the choice affects wall-clock only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Scheduler {
+    /// The pre-elastic baseline: one task per (dataset, algorithm, ε) cell
+    /// and an intra-cell budget of `threads / workers` computed **once at
+    /// spawn**. Kept as an escape hatch for comparison; on grids slightly
+    /// larger than the core count it strands the threads of finished
+    /// workers while tail cells keep their small static share.
+    Static,
+    /// The default: the grid is split into (cell, repetition-block)
+    /// sub-tasks claimed from a shared [`crate::par::BudgetLedger`], and
+    /// every claim re-computes the worker's intra-cell budget from the
+    /// *live* pool and remaining-task count — threads released by finished
+    /// workers flow to the tail of the queue. Transient oversubscription
+    /// is bounded by `threads + workers − 1`.
+    #[default]
+    Elastic,
+}
+
+impl Scheduler {
+    /// CLI-facing name (`"static"` / `"elastic"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheduler::Static => "static",
+            Scheduler::Elastic => "elastic",
+        }
+    }
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "static" => Ok(Scheduler::Static),
+            "elastic" => Ok(Scheduler::Elastic),
+            other => {
+                Err(format!("unknown scheduler {other:?} (expected \"static\" or \"elastic\")"))
+            }
         }
     }
 }
@@ -153,17 +206,236 @@ fn cell_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize, rep:
     StdRng::seed_from_u64(h)
 }
 
+/// One repetition of a cell: generate the synthetic graph on the cell's
+/// derived RNG, evaluate the query suite, and return the per-query errors
+/// — or `None` when generation failed (the repetition is skipped, not
+/// averaged). Both schedulers run repetitions through this one function,
+/// which is half of what makes their output byte-identical (the other half
+/// is [`reduce_cell`]'s fixed reduction order).
+fn run_rep(
+    algorithm: &dyn GraphGenerator,
+    graph: &Graph,
+    true_values: &[QueryValue],
+    config: &BenchmarkConfig,
+    (di, ai, ei): (usize, usize, usize),
+    rep: usize,
+) -> Option<Vec<f64>> {
+    let mut rng = cell_rng(config.seed, di, ai, ei, rep);
+    let synthetic = algorithm.generate(graph, config.epsilons[ei], &mut rng).ok()?;
+    let values =
+        QuerySuite::evaluate_all(&synthetic, &config.queries, &config.query_params, &mut rng);
+    Some(
+        config
+            .queries
+            .iter()
+            .zip(&values)
+            .enumerate()
+            .map(|(qi, (q, v))| compute_error(*q, &true_values[qi], v))
+            .collect(),
+    )
+}
+
+/// Folds a cell's per-repetition error vectors — **in repetition order** —
+/// into the averaged [`ExperimentOutcome`] row per query. The float
+/// summation order is therefore fixed regardless of which worker computed
+/// which repetition, and identical between the static and elastic
+/// schedulers.
+fn reduce_cell(
+    algorithm: &str,
+    dataset: &str,
+    epsilon: f64,
+    config: &BenchmarkConfig,
+    rep_errors: impl Iterator<Item = Option<Vec<f64>>>,
+) -> Vec<ExperimentOutcome> {
+    let mut error_sums = vec![0.0f64; config.queries.len()];
+    let mut runs = 0usize;
+    for errors in rep_errors.flatten() {
+        for (sum, e) in error_sums.iter_mut().zip(&errors) {
+            *sum += e;
+        }
+        runs += 1;
+    }
+    config
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(qi, q)| ExperimentOutcome {
+            algorithm: algorithm.to_string(),
+            dataset: dataset.to_string(),
+            epsilon,
+            query: *q,
+            metric: metric_for(*q),
+            mean_error: if runs == 0 { f64::NAN } else { error_sums[qi] / runs as f64 },
+            runs,
+        })
+        .collect()
+}
+
+/// The static scheduler (PR-3 behaviour): one task per cell, and the
+/// budget split `budget / workers` once at spawn, remainder spread one
+/// extra thread over the first `budget mod workers` workers.
+fn run_grid_static(
+    algorithms: &[Box<dyn GraphGenerator>],
+    datasets: &[(String, Graph)],
+    config: &BenchmarkConfig,
+    true_values: &[Vec<QueryValue>],
+    tasks: &[(usize, usize, usize)],
+    budget: usize,
+) -> Vec<ExperimentOutcome> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Vec<ExperimentOutcome>>> =
+        (0..tasks.len()).map(|_| OnceLock::new()).collect();
+    let workers = budget.min(tasks.len().max(1));
+    let intra_threads = budget / workers; // ≥ 1: workers ≤ budget
+    let intra_extra = budget % workers;
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let intra = intra_threads + usize::from(w < intra_extra);
+            // `move` captures `intra` by value; everything shared is
+            // re-bound as a reference so the workers still borrow it.
+            let (next, slots) = (&next, &slots);
+            scope.spawn(move || {
+                crate::par::with_parallelism(intra, || loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let (di, ai, ei) = tasks[t];
+                    let (dataset_name, graph) = &datasets[di];
+                    let algorithm = &algorithms[ai];
+                    let local = reduce_cell(
+                        algorithm.name(),
+                        dataset_name,
+                        config.epsilons[ei],
+                        config,
+                        (0..config.repetitions.max(1)).map(|rep| {
+                            run_rep(
+                                algorithm.as_ref(),
+                                graph,
+                                &true_values[di],
+                                config,
+                                (di, ai, ei),
+                                rep,
+                            )
+                        }),
+                    );
+                    slots[t].set(local).expect("the atomic cursor hands out each task once");
+                });
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("every claimed task publishes its slot"))
+        .collect()
+}
+
+/// Sub-tasks a worker aims to claim over the run, elastic mode: enough
+/// over-partitioning that the queue's tail still spreads over the pool,
+/// without per-repetition scheduling overhead on wide grids.
+const ELASTIC_TASKS_PER_WORKER: usize = 4;
+
+/// The elastic scheduler: (cell, repetition-block) sub-tasks claimed from
+/// a [`BudgetLedger`], each claim re-granting the live pool share. Every
+/// repetition publishes its error vector into a per-rep [`OnceLock`] slot;
+/// cells are reduced in repetition order afterwards, so the output is
+/// byte-identical to the static path.
+fn run_grid_elastic(
+    algorithms: &[Box<dyn GraphGenerator>],
+    datasets: &[(String, Graph)],
+    config: &BenchmarkConfig,
+    true_values: &[Vec<QueryValue>],
+    tasks: &[(usize, usize, usize)],
+    budget: usize,
+) -> Vec<ExperimentOutcome> {
+    let reps = config.repetitions.max(1);
+    let cells = tasks.len();
+    // Block size: aim for ~ELASTIC_TASKS_PER_WORKER sub-tasks per worker,
+    // never finer than one repetition per sub-task. Scheduling only — any
+    // block size yields the same output.
+    let worker_cap = budget.min(cells.saturating_mul(reps)).max(1);
+    let blocks_per_cell =
+        (worker_cap * ELASTIC_TASKS_PER_WORKER).div_ceil(cells.max(1)).clamp(1, reps);
+    let block = reps.div_ceil(blocks_per_cell);
+    let mut subtasks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for cell in 0..cells {
+        let mut start = 0;
+        while start < reps {
+            let end = (start + block).min(reps);
+            subtasks.push((cell, start..end));
+            start = end;
+        }
+    }
+    let workers = budget.min(subtasks.len()).max(1);
+    let ledger = BudgetLedger::new(budget, workers, subtasks.len());
+    // One slot per (cell, repetition), cell-major — the reduction below
+    // walks them in repetition order no matter who filled them when.
+    let rep_slots: Vec<OnceLock<Option<Vec<f64>>>> =
+        (0..cells * reps).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (ledger, subtasks, rep_slots) = (&ledger, &subtasks, &rep_slots);
+            scope.spawn(move || {
+                while let Some((s, grant)) = ledger.claim() {
+                    let (cell, rep_range) = &subtasks[s];
+                    let (di, ai, ei) = tasks[*cell];
+                    let (_, graph) = &datasets[di];
+                    crate::par::with_parallelism(grant.threads(), || {
+                        for rep in rep_range.clone() {
+                            let errors = run_rep(
+                                algorithms[ai].as_ref(),
+                                graph,
+                                &true_values[di],
+                                config,
+                                (di, ai, ei),
+                                rep,
+                            );
+                            rep_slots[*cell * reps + rep]
+                                .set(errors)
+                                .expect("the ledger hands out each sub-task once");
+                        }
+                    });
+                    ledger.release(grant);
+                }
+            });
+        }
+    });
+
+    let mut rep_results: Vec<Option<Vec<f64>>> = rep_slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every claimed sub-task publishes its repetitions"))
+        .collect();
+    tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(t, &(di, ai, ei))| {
+            reduce_cell(
+                algorithms[ai].name(),
+                &datasets[di].0,
+                config.epsilons[ei],
+                config,
+                rep_results[t * reps..(t + 1) * reps].iter_mut().map(std::mem::take),
+            )
+        })
+        .collect()
+}
+
 /// Runs the full benchmark grid: every algorithm × dataset × ε, with
 /// `config.repetitions` generations per cell, all queries evaluated per
 /// generation through the one-pass [`QuerySuite`] evaluator, and errors
 /// averaged.
 ///
-/// Work is distributed over `config.threads` workers (generation cells are
-/// independent). Each worker publishes into its task's preallocated outcome
-/// slot — an atomic [`OnceLock`] write, no shared mutex — and the slot
-/// order *is* the grid order, so no post-hoc sorting pass is needed and
-/// results are deterministic (byte-identical CSV) for a fixed seed
-/// regardless of thread count.
+/// Work is distributed over `config.threads` total threads by the
+/// configured [`Scheduler`] — elastic (cell, repetition-block) sub-tasks
+/// with per-claim [`BudgetLedger`] grants by default, or the static
+/// whole-cell split via [`Scheduler::Static`]. Workers publish into
+/// preallocated [`OnceLock`] slots — no shared mutex on the hot path —
+/// and per-cell errors always reduce in repetition order, so results are
+/// deterministic (byte-identical CSV) for a fixed seed regardless of
+/// thread count *and* scheduler.
 ///
 /// Cells where every repetition's generation failed are still emitted, with
 /// `runs = 0` and `NaN` errors, so downstream reports always see the
@@ -192,84 +464,16 @@ pub fn run_benchmark(
             }
         }
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<Vec<ExperimentOutcome>>> =
-        (0..tasks.len()).map(|_| OnceLock::new()).collect();
-    // Split the thread budget: as many cell-level workers as there are
-    // cells to keep busy, and the leftover handed to the workers as their
-    // intra-cell generator parallelism (a 1-cell grid ⇒ 1 worker with the
-    // whole budget). The division remainder is spread one thread at a time
-    // over the first workers so the full budget is in play even when it
-    // does not divide evenly. Neither split affects results.
     let budget =
         if config.threads == 0 { crate::par::available_parallelism() } else { config.threads };
-    let workers = budget.min(tasks.len().max(1));
-    let intra_threads = budget / workers; // ≥ 1: workers ≤ budget
-    let intra_extra = budget % workers;
-
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let intra = intra_threads + usize::from(w < intra_extra);
-            // `move` captures `intra` by value; everything shared is
-            // re-bound as a reference so the workers still borrow it.
-            let (next, tasks, slots, true_values) = (&next, &tasks, &slots, &true_values);
-            scope.spawn(move || {
-                crate::par::with_parallelism(intra, || loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks.len() {
-                        break;
-                    }
-                    let (di, ai, ei) = tasks[t];
-                    let (dataset_name, graph) = &datasets[di];
-                    let algorithm = &algorithms[ai];
-                    let epsilon = config.epsilons[ei];
-                    let mut error_sums = vec![0.0f64; config.queries.len()];
-                    let mut runs = 0usize;
-                    for rep in 0..config.repetitions.max(1) {
-                        let mut rng = cell_rng(config.seed, di, ai, ei, rep);
-                        let synthetic = match algorithm.generate(graph, epsilon, &mut rng) {
-                            Ok(g) => g,
-                            Err(_) => continue,
-                        };
-                        let values = QuerySuite::evaluate_all(
-                            &synthetic,
-                            &config.queries,
-                            &config.query_params,
-                            &mut rng,
-                        );
-                        for (qi, (q, v)) in config.queries.iter().zip(&values).enumerate() {
-                            error_sums[qi] += compute_error(*q, &true_values[di][qi], v);
-                        }
-                        runs += 1;
-                    }
-                    let local: Vec<ExperimentOutcome> = config
-                        .queries
-                        .iter()
-                        .enumerate()
-                        .map(|(qi, q)| ExperimentOutcome {
-                            algorithm: algorithm.name().to_string(),
-                            dataset: dataset_name.clone(),
-                            epsilon,
-                            query: *q,
-                            metric: metric_for(*q),
-                            mean_error: if runs == 0 {
-                                f64::NAN
-                            } else {
-                                error_sums[qi] / runs as f64
-                            },
-                            runs,
-                        })
-                        .collect();
-                    slots[t].set(local).expect("the atomic cursor hands out each task once");
-                });
-            });
+    let outcomes = match config.sched {
+        Scheduler::Static => {
+            run_grid_static(algorithms, datasets, config, &true_values, &tasks, budget)
         }
-    });
-
-    let outcomes: Vec<ExperimentOutcome> = slots
-        .into_iter()
-        .flat_map(|slot| slot.into_inner().expect("every claimed task publishes its slot"))
-        .collect();
+        Scheduler::Elastic => {
+            run_grid_elastic(algorithms, datasets, config, &true_values, &tasks, budget)
+        }
+    };
     BenchmarkResults {
         outcomes,
         algorithms: algorithms.iter().map(|a| a.name().to_string()).collect(),
@@ -389,10 +593,44 @@ mod tests {
         let serial = run_benchmark(&algorithms, &datasets, &config).to_csv();
         // 2 datasets × 4 algorithms × 2 ε × 4 queries + header.
         assert_eq!(serial.lines().count(), 65);
-        for threads in [2, 8, 0] {
-            config.threads = threads; // 0 ⇒ auto: available parallelism
-            let other = run_benchmark(&algorithms, &datasets, &config).to_csv();
-            assert_eq!(serial, other, "CSV must not depend on threads = {threads}");
+        for sched in [Scheduler::Elastic, Scheduler::Static] {
+            config.sched = sched;
+            for threads in [2, 8, 0] {
+                config.threads = threads; // 0 ⇒ auto: available parallelism
+                let other = run_benchmark(&algorithms, &datasets, &config).to_csv();
+                assert_eq!(
+                    serial, other,
+                    "CSV must not depend on threads = {threads}, sched = {sched:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_parses_and_defaults_to_elastic() {
+        assert_eq!(BenchmarkConfig::default().sched, Scheduler::Elastic);
+        assert_eq!("static".parse::<Scheduler>(), Ok(Scheduler::Static));
+        assert_eq!("elastic".parse::<Scheduler>(), Ok(Scheduler::Elastic));
+        assert!("eager".parse::<Scheduler>().is_err());
+        assert_eq!(Scheduler::Static.name(), "static");
+        assert_eq!(Scheduler::Elastic.name(), "elastic");
+    }
+
+    #[test]
+    fn failing_generator_complete_grid_under_both_schedulers() {
+        // The complete-grid guarantee (runs = 0, NaN cells) must hold for
+        // the elastic rep-slot path too: a failed repetition publishes
+        // `None` into its slot, and the reduction still emits the cell.
+        let (_, datasets, mut config) = tiny_setup();
+        let algorithms: Vec<Box<dyn GraphGenerator>> = vec![Box::new(AlwaysFails)];
+        for sched in [Scheduler::Static, Scheduler::Elastic] {
+            config.sched = sched;
+            let results = run_benchmark(&algorithms, &datasets, &config);
+            assert_eq!(results.outcomes.len(), 6, "{sched:?}");
+            for o in &results.outcomes {
+                assert_eq!(o.runs, 0, "{sched:?}: {o:?}");
+                assert!(o.mean_error.is_nan(), "{sched:?}: {o:?}");
+            }
         }
     }
 

@@ -68,7 +68,9 @@ pub fn standard_suite() -> Vec<Box<dyn GraphGenerator>> {
 
 /// Convenience prelude.
 pub mod prelude {
-    pub use crate::benchmark::{BenchmarkConfig, BenchmarkResults, ErrorMetric, ExperimentOutcome};
+    pub use crate::benchmark::{
+        BenchmarkConfig, BenchmarkResults, ErrorMetric, ExperimentOutcome, Scheduler,
+    };
     pub use crate::{
         standard_suite, Der, Dgg, DkVariant, DpDk, GenerateError, GraphGenerator, PrivGraph,
         PrivHrg, PrivSkg, TmF,

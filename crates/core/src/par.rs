@@ -30,13 +30,18 @@
 //! falling back to the machine's available parallelism when unset. Nested
 //! parallel sections inside a `par_collect` worker run serially — the
 //! budget is already spent one level up.
+//!
+//! How a *pool of workers* divides a shared budget over a draining task
+//! queue is the job of [`BudgetLedger`]: workers re-claim their share per
+//! task, so threads released by finished workers flow to the tail of the
+//! queue instead of idling (the benchmark runner's elastic scheduler).
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Default indices per chunk for fine-grained index work (per-edge or
 /// per-drop loops): large enough to amortise stream derivation and task
@@ -81,6 +86,143 @@ pub fn with_parallelism<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     }
     let _restore = Restore(THREAD_BUDGET.with(|c| c.replace(threads)));
     f()
+}
+
+/// An elastic thread-budget ledger shared by the workers of a task pool.
+///
+/// The benchmark runner's workers used to split the total thread budget
+/// once at spawn (`budget / workers` each), which strands threads on the
+/// tail of a grid: when the task queue drains below the worker count,
+/// finished workers' threads sit idle while the remaining tasks keep their
+/// small static share. The ledger instead tracks the *live* state — how
+/// many tasks are still unclaimed and how many threads finished workers
+/// have returned to the pool — and each worker recomputes its intra-task
+/// budget per **claimed** task:
+///
+/// * [`claim`](BudgetLedger::claim) atomically pops the next task index and
+///   grants `ceil(available / claimants)` pooled threads, where
+///   `claimants = min(workers, remaining tasks)` — on the tail the divisor
+///   shrinks, so late tasks inherit the threads earlier tasks released.
+/// * A worker whose claim finds an empty pool still runs (a [`Grant`] is
+///   always ≥ 1 thread), so the *transient* oversubscription is bounded:
+///   at most one unpooled thread per worker beyond the first, i.e. the sum
+///   of outstanding grants never exceeds `budget + workers − 1`.
+/// * [`release`](BudgetLedger::release) returns the pooled part of a grant,
+///   so `available + Σ outstanding pooled ≡ budget` at all times and the
+///   ledger drains back to exactly `budget` once every grant is released.
+///
+/// Grants are *scheduling only*: callers run their task under
+/// [`with_parallelism`]`(grant.threads(), …)`, and the derived-stream
+/// discipline makes the task's output identical for every grant size.
+#[derive(Debug)]
+pub struct BudgetLedger {
+    budget: usize,
+    workers: usize,
+    tasks: usize,
+    inner: Mutex<LedgerInner>,
+}
+
+#[derive(Debug)]
+struct LedgerInner {
+    /// Next unclaimed task index (`tasks` ⇒ queue drained).
+    next: usize,
+    /// Threads currently in the pool (≤ `budget`).
+    available: usize,
+}
+
+/// A thread grant held by a worker for the duration of one claimed task.
+///
+/// `threads` is what the worker may use ([`with_parallelism`] budget);
+/// `pooled` is the part accounted against the ledger's pool (`threads`
+/// when the pool could cover the grant, `0` for the minimum-one-thread
+/// grant handed out when the pool was momentarily empty). Return it with
+/// [`BudgetLedger::release`] when the task completes.
+#[derive(Debug)]
+#[must_use = "a grant holds pooled threads until released"]
+pub struct Grant {
+    threads: usize,
+    pooled: usize,
+}
+
+impl Grant {
+    /// The intra-task thread budget this grant authorises (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many of the granted threads came out of the shared pool.
+    pub fn pooled(&self) -> usize {
+        self.pooled
+    }
+}
+
+impl BudgetLedger {
+    /// A ledger distributing `budget` threads (≥ 1 enforced) over `tasks`
+    /// tasks claimed by at most `workers` concurrent workers.
+    pub fn new(budget: usize, workers: usize, tasks: usize) -> Self {
+        let budget = budget.max(1);
+        let workers = workers.max(1);
+        BudgetLedger {
+            budget,
+            workers,
+            tasks,
+            inner: Mutex::new(LedgerInner { next: 0, available: budget }),
+        }
+    }
+
+    /// The total thread budget the ledger was created with.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The worker count the oversubscription bound is stated against.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Threads currently sitting in the pool (released and unclaimed).
+    pub fn available(&self) -> usize {
+        self.inner.lock().expect("ledger lock poisoned").available
+    }
+
+    /// Tasks not yet claimed.
+    pub fn remaining_tasks(&self) -> usize {
+        self.tasks - self.inner.lock().expect("ledger lock poisoned").next
+    }
+
+    /// Claims the next task, or `None` when the queue is drained. The
+    /// returned grant divides the pool by the number of workers that can
+    /// still be claiming concurrently (`min(workers, remaining tasks)`),
+    /// and is never zero: an empty pool yields a 1-thread grant with
+    /// `pooled = 0`, which is what makes the oversubscription transient
+    /// and bounded rather than a deadlock.
+    pub fn claim(&self) -> Option<(usize, Grant)> {
+        let mut s = self.inner.lock().expect("ledger lock poisoned");
+        if s.next >= self.tasks {
+            return None;
+        }
+        let task = s.next;
+        s.next += 1;
+        // Including this one — `task` was just popped.
+        let remaining = self.tasks - task;
+        let claimants = remaining.min(self.workers).max(1);
+        let pooled = if s.available == 0 { 0 } else { s.available.div_ceil(claimants) };
+        debug_assert!(pooled <= s.available);
+        s.available -= pooled;
+        Some((task, Grant { threads: pooled.max(1), pooled }))
+    }
+
+    /// Returns a grant's pooled threads, making them grantable to the next
+    /// claim. Unpooled (oversubscribed) threads simply vanish — they were
+    /// never deducted from the pool.
+    pub fn release(&self, grant: Grant) {
+        let mut s = self.inner.lock().expect("ledger lock poisoned");
+        s.available += grant.pooled;
+        debug_assert!(
+            s.available <= self.budget,
+            "pool overflow: released more threads than the budget holds"
+        );
+    }
 }
 
 /// Derives the deterministic RNG for chunk `index` of a parallel section
@@ -237,6 +379,76 @@ mod tests {
         assert!(out.is_empty());
         b.next_u64();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ledger_saturating_grid_grants_one_each() {
+        // More tasks than budget: every worker starts with exactly 1.
+        let ledger = BudgetLedger::new(4, 4, 100);
+        let grants: Vec<Grant> = (0..4).map(|_| ledger.claim().unwrap().1).collect();
+        assert!(grants.iter().all(|g| g.threads() == 1 && g.pooled() == 1));
+        assert_eq!(ledger.available(), 0);
+        for g in grants {
+            ledger.release(g);
+        }
+        assert_eq!(ledger.available(), 4);
+    }
+
+    #[test]
+    fn ledger_tail_inherits_released_threads() {
+        // 4 workers, budget 4, 6 tasks: the tail tasks (5, 6) are claimed
+        // after earlier grants return, and with remaining < workers the
+        // divisor shrinks — released threads are re-granted, not stranded.
+        let ledger = BudgetLedger::new(4, 4, 6);
+        let head: Vec<(usize, Grant)> = (0..4).map(|_| ledger.claim().unwrap()).collect();
+        for (_, g) in head {
+            ledger.release(g);
+        }
+        // Tail: 2 tasks remain, whole pool back in play ⇒ 4 / 2 = 2 each.
+        let (t, g5) = ledger.claim().unwrap();
+        assert_eq!(t, 4);
+        assert_eq!(g5.threads(), 2);
+        let (_, g6) = ledger.claim().unwrap();
+        assert_eq!(g6.threads(), 2);
+        assert!(ledger.claim().is_none());
+        ledger.release(g5);
+        ledger.release(g6);
+        assert_eq!(ledger.available(), 4);
+    }
+
+    #[test]
+    fn ledger_single_task_gets_whole_budget() {
+        let ledger = BudgetLedger::new(8, 4, 1);
+        let (_, g) = ledger.claim().unwrap();
+        assert_eq!(g.threads(), 8);
+        ledger.release(g);
+        assert_eq!(ledger.available(), 8);
+    }
+
+    #[test]
+    fn ledger_empty_pool_still_grants_one_thread() {
+        // Budget 1, 4 workers: three claims find the pool empty and run
+        // oversubscribed on 1 unpooled thread each — the transient total is
+        // 4 = budget + workers − 1, never more.
+        let ledger = BudgetLedger::new(1, 4, 8);
+        let grants: Vec<Grant> = (0..4).map(|_| ledger.claim().unwrap().1).collect();
+        let outstanding: usize = grants.iter().map(Grant::threads).sum();
+        assert_eq!(outstanding, 4);
+        assert_eq!(grants.iter().map(Grant::pooled).sum::<usize>(), 1);
+        for g in grants {
+            ledger.release(g);
+        }
+        assert_eq!(ledger.available(), 1);
+    }
+
+    #[test]
+    fn ledger_zero_budget_clamped_to_one() {
+        let ledger = BudgetLedger::new(0, 0, 2);
+        assert_eq!(ledger.budget(), 1);
+        assert_eq!(ledger.workers(), 1);
+        let (_, g) = ledger.claim().unwrap();
+        assert_eq!(g.threads(), 1);
+        ledger.release(g);
     }
 
     #[test]

@@ -5,17 +5,29 @@
 //! support (e.g. degree). Vectors of different lengths are implicitly
 //! zero-padded to the longer support, and every metric normalises its
 //! inputs to probability vectors first.
+//!
+//! **Zero-mass inputs** (an all-zero weight vector — e.g. the degree
+//! distribution of an edgeless synthetic graph at tiny ε) are valid for
+//! the bounded metrics: [`hellinger_distance`] and [`ks_statistic`] treat
+//! zero-mass-vs-anything as the maximal distance `1.0` and
+//! zero-vs-zero as `0.0`, instead of panicking and aborting a whole
+//! benchmark run. [`kl_divergence`] is already total over zero-mass
+//! inputs via its additive smoothing (a zero vector smooths to uniform).
 
 /// Additive smoothing applied before KL so that empty bins on either side
 /// stay finite; matches the evaluation convention of the PGB reference
 /// implementation.
 const KL_SMOOTHING: f64 = 1e-9;
 
-fn normalized(weights: &[f64], len: usize, smoothing: f64) -> Vec<f64> {
+fn validate_weights(weights: &[f64]) {
     assert!(
         weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
         "weights must be non-negative and finite"
     );
+}
+
+fn normalized(weights: &[f64], len: usize, smoothing: f64) -> Vec<f64> {
+    validate_weights(weights);
     let mut p: Vec<f64> =
         (0..len).map(|i| weights.get(i).copied().unwrap_or(0.0) + smoothing).collect();
     let total: f64 = p.iter().sum();
@@ -24,6 +36,31 @@ fn normalized(weights: &[f64], len: usize, smoothing: f64) -> Vec<f64> {
         *x /= total;
     }
     p
+}
+
+/// Normalises to `len` bins by the positive total `mass` the caller
+/// already computed — the smoothing-free metrics validate and sum each
+/// vector exactly once, in [`positive_masses`].
+fn normalized_by_mass(weights: &[f64], len: usize, mass: f64) -> Vec<f64> {
+    debug_assert!(mass > 0.0);
+    (0..len).map(|i| weights.get(i).copied().unwrap_or(0.0) / mass).collect()
+}
+
+/// Validates both weight vectors and resolves the zero-mass edge cases
+/// shared by the bounded metrics: `Err(distance)` short-circuits
+/// (zero-vs-zero compares two empty distributions — `0.0`;
+/// zero-vs-anything is maximally far — `1.0`, the supremum of both
+/// Hellinger and KS), `Ok((p_mass, q_mass))` means both masses are
+/// positive and the metric proper should run on them.
+fn positive_masses(p_weights: &[f64], q_weights: &[f64]) -> Result<(f64, f64), f64> {
+    validate_weights(p_weights);
+    validate_weights(q_weights);
+    let (p_mass, q_mass) = (p_weights.iter().sum(), q_weights.iter().sum());
+    match (p_mass > 0.0, q_mass > 0.0) {
+        (true, true) => Ok((p_mass, q_mass)),
+        (false, false) => Err(0.0),
+        _ => Err(1.0),
+    }
 }
 
 /// Kullback–Leibler divergence `KL(P ‖ Q) = Σ pᵢ ln(pᵢ / qᵢ)` (metric E3),
@@ -39,20 +76,35 @@ pub fn kl_divergence(p_weights: &[f64], q_weights: &[f64]) -> f64 {
 }
 
 /// Hellinger distance `(1/√2) ‖√P − √Q‖₂` (metric E4), in `[0, 1]`.
+///
+/// A zero-mass weight vector (nothing to normalise — e.g. an edgeless
+/// graph's degree histogram) is maximally far from any distribution:
+/// zero-vs-anything returns `1.0`, zero-vs-zero returns `0.0`.
 pub fn hellinger_distance(p_weights: &[f64], q_weights: &[f64]) -> f64 {
+    let (p_mass, q_mass) = match positive_masses(p_weights, q_weights) {
+        Ok(masses) => masses,
+        Err(d) => return d,
+    };
     let len = p_weights.len().max(q_weights.len()).max(1);
-    let p = normalized(p_weights, len, 0.0);
-    let q = normalized(q_weights, len, 0.0);
+    let p = normalized_by_mass(p_weights, len, p_mass);
+    let q = normalized_by_mass(q_weights, len, q_mass);
     let sq_sum: f64 = p.iter().zip(&q).map(|(&pi, &qi)| (pi.sqrt() - qi.sqrt()).powi(2)).sum();
     (sq_sum / 2.0).sqrt()
 }
 
 /// Kolmogorov–Smirnov statistic `max |CDF_P − CDF_Q|` (metric E5) over the
 /// shared discrete support, in `[0, 1]`.
+///
+/// Zero-mass inputs follow the same convention as [`hellinger_distance`]:
+/// zero-vs-anything is `1.0`, zero-vs-zero is `0.0`.
 pub fn ks_statistic(p_weights: &[f64], q_weights: &[f64]) -> f64 {
+    let (p_mass, q_mass) = match positive_masses(p_weights, q_weights) {
+        Ok(masses) => masses,
+        Err(d) => return d,
+    };
     let len = p_weights.len().max(q_weights.len()).max(1);
-    let p = normalized(p_weights, len, 0.0);
-    let q = normalized(q_weights, len, 0.0);
+    let p = normalized_by_mass(p_weights, len, p_mass);
+    let q = normalized_by_mass(q_weights, len, q_mass);
     let (mut cp, mut cq, mut best) = (0.0f64, 0.0f64, 0.0f64);
     for i in 0..len {
         cp += p[i];
@@ -141,5 +193,41 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_weights_panic() {
         kl_divergence(&[-1.0, 2.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn zero_mass_vs_anything_is_maximal() {
+        // An all-zero weight vector (edgeless synthetic graph) must score
+        // as maximally far, not abort the benchmark.
+        assert_eq!(hellinger_distance(&[0.0, 0.0], &[0.3, 0.7]), 1.0);
+        assert_eq!(hellinger_distance(&[0.3, 0.7], &[0.0, 0.0]), 1.0);
+        assert_eq!(ks_statistic(&[0.0, 0.0, 0.0], &[1.0]), 1.0);
+        assert_eq!(ks_statistic(&[1.0], &[0.0, 0.0, 0.0]), 1.0);
+        // Empty slices are zero-mass too.
+        assert_eq!(hellinger_distance(&[], &[1.0]), 1.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn zero_mass_vs_zero_mass_is_zero() {
+        assert_eq!(hellinger_distance(&[0.0, 0.0], &[0.0]), 0.0);
+        assert_eq!(ks_statistic(&[0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(hellinger_distance(&[], &[]), 0.0);
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn kl_total_over_zero_mass_via_smoothing() {
+        // KL needs no special case: smoothing turns a zero vector into the
+        // uniform distribution, so the divergence stays finite both ways.
+        assert!(kl_divergence(&[0.0, 0.0], &[0.3, 0.7]).is_finite());
+        assert!(kl_divergence(&[0.3, 0.7], &[0.0, 0.0]).is_finite());
+        assert!(kl_divergence(&[0.0], &[0.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn zero_mass_path_still_validates_weights() {
+        hellinger_distance(&[0.0, 0.0], &[f64::NAN]);
     }
 }

@@ -34,6 +34,7 @@ fn main() {
         },
         seed: 0,
         threads: 0,
+        ..Default::default()
     };
     let results = run_benchmark(&algorithms, &datasets, &config);
 
