@@ -4,6 +4,19 @@
 //! PGB uses Louvain twice: as the benchmark's community-detection query
 //! (Q12, on unweighted graphs) and inside PrivGraph's phase 1, which runs
 //! it on a *noisy weighted super-graph* — hence the weighted entry point.
+//!
+//! ## What is parallel, what is not
+//!
+//! The init and aggregation scans run on the ambient
+//! [`pgb_par::current_parallelism`] budget: lifting the input graph
+//! ([`WeightedGraph::from_graph`]), the per-level weighted-degree vector
+//! (a per-node map, below), and the community coarsening
+//! ([`WeightedGraph::aggregate`]) — all bit-identical at any thread
+//! count. The **local-moving sweep itself stays sequential by design**:
+//! each move reads the community totals left by every previous move, so a
+//! deterministic parallel variant would need a fundamentally different
+//! algorithm (graph colouring or delta-screening with a fixed merge
+//! order), not a chunked port — recorded as a ROADMAP follow-up.
 
 use crate::{Partition, WeightedGraph};
 use pgb_graph::Graph;
@@ -81,7 +94,13 @@ fn local_moving<R: Rng + ?Sized>(
     if two_m <= 0.0 {
         return (labels, false);
     }
-    let degree: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
+    // Per-node map: each entry sums its own adjacency list, so the chunked
+    // scan is bit-identical to the sequential one at any thread budget.
+    let degree: Vec<f64> = pgb_par::par_map_chunks(n, 16_384, |range, out| {
+        for u in range {
+            out.push(g.weighted_degree(u as u32));
+        }
+    });
     // Σ of weighted degrees per community.
     let mut comm_total: Vec<f64> = degree.clone();
     let mut order: Vec<u32> = (0..n as u32).collect();

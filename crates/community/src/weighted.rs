@@ -1,7 +1,18 @@
 //! A compact weighted undirected graph used by Louvain's aggregation
 //! phase and by PrivGraph's noisy super-graph.
+//!
+//! The two full-graph scans — lifting an unweighted [`Graph`]
+//! ([`WeightedGraph::from_graph`]) and community coarsening
+//! ([`WeightedGraph::aggregate`]) — are chunked over nodes and run on the
+//! ambient [`pgb_par::current_parallelism`] budget. Both keep float
+//! *arithmetic* out of the chunk merge (merges only append contribution
+//! lists in node order); every weight sum happens afterwards in a fixed
+//! order, so the resulting graph is bit-identical at any thread count.
 
 use pgb_graph::{Graph, NodeId};
+
+/// Nodes per chunk for the parallel scans.
+const NODE_CHUNK: usize = 16_384;
 
 /// An undirected graph with `f64` edge weights and per-node self-loop
 //  weights (self-loops arise from community aggregation).
@@ -23,12 +34,22 @@ impl WeightedGraph {
     }
 
     /// Lifts an unweighted [`Graph`] (every edge weight 1).
+    ///
+    /// Built directly from the CSR adjacency in parallel node chunks: each
+    /// node's weighted list is its id-sorted neighbour segment at weight 1
+    /// — exactly the list the incremental [`WeightedGraph::add_edge`] path
+    /// produces, without the per-edge linear find.
     pub fn from_graph(g: &Graph) -> Self {
-        let mut w = WeightedGraph::new(g.node_count());
-        for (u, v) in g.edges() {
-            w.add_edge(u, v, 1.0);
-        }
-        w
+        let n = g.node_count();
+        let adj: Vec<Vec<(NodeId, f64)>> = pgb_par::par_map_chunks(n, NODE_CHUNK, |range, out| {
+            for u in range {
+                out.push(g.neighbors(u as NodeId).iter().map(|&v| (v, 1.0)).collect());
+            }
+        });
+        // 2m exactly — the same value the add_edge path accumulates in
+        // unit steps (integers are exact in f64).
+        let total = 2.0 * g.edge_count() as f64;
+        WeightedGraph { adj, self_loops: vec![0.0; n], total }
     }
 
     /// Number of nodes.
@@ -88,26 +109,97 @@ impl WeightedGraph {
     /// Aggregates nodes by `labels` (values must be `0..k`): returns the
     /// `k`-node graph whose edge weights sum the inter-community weights
     /// and whose self-loops sum the intra-community weights.
+    ///
+    /// Two chunked parallel phases, both thread-count-invariant:
+    ///
+    /// 1. **Bucketing** — node chunks append each contribution `(c₂, w)`
+    ///    (or `(c, w)` for intra-community / self-loop weight) to the
+    ///    affected communities' buckets; chunk buckets append-merge in
+    ///    chunk order, so every community sees its contributions in
+    ///    ascending-node order — the order the old sequential `add_edge`
+    ///    loop produced.
+    /// 2. **Row folding** — community chunks fold their buckets into the
+    ///    weighted rows: neighbour entries keep first-occurrence order
+    ///    and accumulate in contribution order, exactly like repeated
+    ///    `add_edge` calls.
+    ///
+    /// The total weight is re-accumulated by one sequential pass over the
+    /// input in ascending-node order — the *chronological* order the old
+    /// per-edge `add_edge` loop used — so even with non-integer weights
+    /// (PrivGraph's noisy super-graphs) every output field is bit-identical
+    /// to the pre-parallel implementation, at any thread count.
     pub fn aggregate(&self, labels: &[u32], k: usize) -> WeightedGraph {
         assert_eq!(labels.len(), self.node_count(), "label vector length mismatch");
-        let mut out = WeightedGraph::new(k);
-        for u in 0..self.node_count() as u32 {
-            let cu = labels[u as usize];
-            if self.self_loops[u as usize] > 0.0 {
-                out.add_edge(cu, cu, self.self_loops[u as usize]);
-            }
-            for &(v, w) in &self.adj[u as usize] {
-                if v > u {
-                    let cv = labels[v as usize];
-                    if cu == cv {
-                        out.add_edge(cu, cu, w);
-                    } else {
-                        out.add_edge(cu, cv, w);
+        let buckets: Vec<Vec<(u32, f64)>> = pgb_par::par_fold_chunks(
+            self.node_count(),
+            NODE_CHUNK,
+            || vec![Vec::new(); k],
+            |buckets: &mut Vec<Vec<(u32, f64)>>, range| {
+                for u in range {
+                    let cu = labels[u];
+                    if self.self_loops[u] > 0.0 {
+                        buckets[cu as usize].push((cu, self.self_loops[u]));
                     }
+                    for &(v, w) in &self.adj[u] {
+                        if v as usize > u {
+                            let cv = labels[v as usize];
+                            if cu == cv {
+                                buckets[cu as usize].push((cu, w));
+                            } else {
+                                buckets[cu as usize].push((cv, w));
+                                buckets[cv as usize].push((cu, w));
+                            }
+                        }
+                    }
+                }
+            },
+            |buckets, other| {
+                for (b, mut o) in buckets.iter_mut().zip(other) {
+                    b.append(&mut o);
+                }
+            },
+        );
+        let rows: Vec<(Vec<(NodeId, f64)>, f64)> =
+            pgb_par::par_map_chunks(k, NODE_CHUNK, |range, out| {
+                for c in range {
+                    let c = c as u32;
+                    let mut list: Vec<(NodeId, f64)> = Vec::new();
+                    let mut self_w = 0.0f64;
+                    for &(c2, w) in &buckets[c as usize] {
+                        if c2 == c {
+                            self_w += w;
+                        } else if let Some(entry) = list.iter_mut().find(|(x, _)| *x == c2) {
+                            entry.1 += w;
+                        } else {
+                            list.push((c2, w));
+                        }
+                    }
+                    out.push((list, self_w));
+                }
+            });
+        let mut adj = Vec::with_capacity(k);
+        let mut self_loops = Vec::with_capacity(k);
+        for (list, s) in rows {
+            adj.push(list);
+            self_loops.push(s);
+        }
+        // `total` in chronological (ascending-node) contribution order:
+        // exactly the `total += 2.0 * w` sequence the old sequential
+        // `add_edge` loop performed, so float weights reproduce the
+        // pre-parallel bits — and the order is fixed, so neither chunking
+        // nor threads can move it.
+        let mut total = 0.0;
+        for u in 0..self.node_count() {
+            if self.self_loops[u] > 0.0 {
+                total += 2.0 * self.self_loops[u];
+            }
+            for &(v, w) in &self.adj[u] {
+                if v as usize > u {
+                    total += 2.0 * w;
                 }
             }
         }
-        out
+        WeightedGraph { adj, self_loops, total }
     }
 }
 
@@ -169,5 +261,82 @@ mod tests {
     #[should_panic(expected = "invalid weight")]
     fn negative_weight_panics() {
         WeightedGraph::new(2).add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn scans_bit_identical_at_any_thread_budget() {
+        // Non-integer weights on purpose: the bucket/append discipline must
+        // keep f64 accumulation in a fixed order regardless of threads.
+        let mut w = WeightedGraph::new(40);
+        for u in 0..40u32 {
+            for v in (u + 1)..40 {
+                if (u * 31 + v * 17) % 5 == 0 {
+                    w.add_edge(u, v, 0.1 + (u as f64 + 0.3) / (v as f64 + 1.7));
+                }
+            }
+        }
+        w.add_edge(3, 3, 0.25);
+        let labels: Vec<u32> = (0..40u32).map(|u| u % 7).collect();
+        let run = |threads: usize| pgb_par::with_parallelism(threads, || w.aggregate(&labels, 7));
+        let reference = run(1);
+        for threads in [2, 3, 8, 0] {
+            let agg = run(threads);
+            assert_eq!(agg.total_weight().to_bits(), reference.total_weight().to_bits());
+            for c in 0..7u32 {
+                assert_eq!(agg.neighbors(c), reference.neighbors(c), "community {c}");
+                assert_eq!(agg.self_loop(c).to_bits(), reference.self_loop(c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_bit_matches_pre_parallel_reference() {
+        // The old aggregate was a sequential add_edge loop in ascending-
+        // node order; the bucketed parallel version must reproduce its
+        // exact bits — including the f64 accumulation order — on
+        // non-integer weights (PrivGraph's noisy super-graphs).
+        let mut w = WeightedGraph::new(30);
+        for u in 0..30u32 {
+            for v in (u + 1)..30 {
+                if (u * 13 + v * 7) % 4 == 0 {
+                    w.add_edge(u, v, 0.05 + (v as f64 + 0.11) / (u as f64 + 2.9));
+                }
+            }
+        }
+        w.add_edge(5, 5, 1.0 / 3.0);
+        let labels: Vec<u32> = (0..30u32).map(|u| (u * u) % 5).collect();
+        let (k, agg) = (5, w.aggregate(&labels, 5));
+        let mut reference = WeightedGraph::new(k);
+        for u in 0..30u32 {
+            let cu = labels[u as usize];
+            if w.self_loop(u) > 0.0 {
+                reference.add_edge(cu, cu, w.self_loop(u));
+            }
+            for &(v, weight) in w.neighbors(u) {
+                if v > u {
+                    let cv = labels[v as usize];
+                    reference.add_edge(cu, if cu == cv { cu } else { cv }, weight);
+                }
+            }
+        }
+        assert_eq!(agg.total_weight().to_bits(), reference.total_weight().to_bits());
+        for c in 0..k as u32 {
+            assert_eq!(agg.neighbors(c), reference.neighbors(c), "community {c}");
+            assert_eq!(agg.self_loop(c).to_bits(), reference.self_loop(c).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_graph_matches_incremental_construction() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let fast = WeightedGraph::from_graph(&g);
+        let mut slow = WeightedGraph::new(6);
+        for (u, v) in g.edges() {
+            slow.add_edge(u, v, 1.0);
+        }
+        assert_eq!(fast.total_weight(), slow.total_weight());
+        for u in 0..6u32 {
+            assert_eq!(fast.neighbors(u), slow.neighbors(u), "node {u}");
+        }
     }
 }

@@ -16,5 +16,8 @@ pub mod scoring;
 
 pub use metric::{compute_error, metric_for, ErrorMetric};
 pub use report::TextTable;
-pub use runner::{run_benchmark, BenchmarkConfig, BenchmarkResults, ExperimentOutcome, Scheduler};
+pub use runner::{
+    algorithm_cost_weight, run_benchmark, BenchmarkConfig, BenchmarkResults, ExperimentOutcome,
+    Scheduler,
+};
 pub use scoring::{best_counts_per_case, best_counts_per_query};

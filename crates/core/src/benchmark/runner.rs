@@ -73,7 +73,11 @@ pub enum Scheduler {
     /// every claim re-computes the worker's intra-cell budget from the
     /// *live* pool and remaining-task count — threads released by finished
     /// workers flow to the tail of the queue. Transient oversubscription
-    /// is bounded by `threads + workers − 1`.
+    /// is bounded by `threads + workers − 1`. Sub-tasks are handed out in
+    /// **cost order** (static per-algorithm weight × n², largest first —
+    /// see [`algorithm_cost_weight`]) rather than grid order, so the
+    /// expensive DER/PrivHRG cells on large datasets start first and the
+    /// queue's tail is made of cheap cells.
     #[default]
     Elastic,
 }
@@ -337,6 +341,37 @@ fn run_grid_static(
 /// without per-repetition scheduling overhead on wide grids.
 const ELASTIC_TASKS_PER_WORKER: usize = 4;
 
+/// Static relative cost weight of one repetition of `algorithm` (matched
+/// by display name), from the Table VIII / Table IX complexity and
+/// measured-time ordering: the dense quadtree/MCMC mechanisms (DER,
+/// PrivHRG) dominate, the community/moment mechanisms sit in the middle,
+/// and the filter/degree mechanisms (TmF, DGG) are the cheapest per cell.
+/// Unknown (user-supplied) algorithms get the middle weight.
+///
+/// Only *relative order* matters: the elastic scheduler multiplies this by
+/// a node-count factor to decide which (cell, repetition-block) sub-tasks
+/// to hand out first, so the expensive cells start while the pool is full
+/// and the tail the [`BudgetLedger`] parallelises is made of cheap cells.
+/// Scheduling only — claim order cannot change any cell's RNG stream or
+/// reduction order, so the CSV bytes are identical to grid-order claiming.
+pub fn algorithm_cost_weight(name: &str) -> u32 {
+    match name {
+        "DER" | "PrivHRG" => 16,
+        "PrivGraph" | "PrivSKG" | "DP-dK" | "DP-1K" => 4,
+        "TmF" | "DGG" => 1,
+        _ => 4,
+    }
+}
+
+/// The claim-order key of a grid cell: algorithm weight × n², descending
+/// (the quadratic factor matches the dense O(n²) scans that dominate DER
+/// and TmF cells and over-weights large datasets for the rest, which is
+/// the safe direction — "large n first"). Ties keep grid order.
+fn cell_cost(algorithm_name: &str, n: usize) -> u128 {
+    let n = n as u128;
+    algorithm_cost_weight(algorithm_name) as u128 * n.saturating_mul(n).max(1)
+}
+
 /// The elastic scheduler: (cell, repetition-block) sub-tasks claimed from
 /// a [`BudgetLedger`], each claim re-granting the live pool share. Every
 /// repetition publishes its error vector into a per-rep [`OnceLock`] slot;
@@ -368,6 +403,20 @@ fn run_grid_elastic(
             start = end;
         }
     }
+    // Cost-aware claim order: hand out expensive (cell, repetition-block)
+    // sub-tasks first (per-algorithm weight × n², ties in grid order), so
+    // a DER cell on the largest dataset cannot become a serial tail after
+    // the cheap cells drain. Pure scheduling — each sub-task's repetitions
+    // still run on their own derived cell RNG and publish into cell-major
+    // slots reduced in grid order, so the CSV is byte-identical to
+    // grid-order claiming (asserted in `tests/scheduler.rs`).
+    subtasks.sort_by(|a, b| {
+        let key = |&(cell, _): &(usize, std::ops::Range<usize>)| {
+            let (di, ai, _) = tasks[cell];
+            cell_cost(algorithms[ai].name(), datasets[di].1.node_count())
+        };
+        key(b).cmp(&key(a)).then_with(|| (a.0, a.1.start).cmp(&(b.0, b.1.start)))
+    });
     let workers = budget.min(subtasks.len()).max(1);
     let ledger = BudgetLedger::new(budget, workers, subtasks.len());
     // One slot per (cell, repetition), cell-major — the reduction below
@@ -445,15 +494,21 @@ pub fn run_benchmark(
     datasets: &[(String, Graph)],
     config: &BenchmarkConfig,
 ) -> BenchmarkResults {
-    // True query values per dataset, computed once.
-    let true_values: Vec<Vec<QueryValue>> = datasets
-        .iter()
-        .enumerate()
-        .map(|(di, (_, g))| {
-            let mut rng = cell_rng(config.seed, di, usize::MAX, 0, 0);
-            QuerySuite::evaluate_all(g, &config.queries, &config.query_params, &mut rng)
-        })
-        .collect();
+    let budget =
+        if config.threads == 0 { crate::par::available_parallelism() } else { config.threads };
+    // True query values per dataset, computed once — under the full thread
+    // budget, since no cell workers are running yet and the suite's shared
+    // passes (triangle, BFS, degree) parallelise on the ambient budget.
+    let true_values: Vec<Vec<QueryValue>> = crate::par::with_parallelism(budget, || {
+        datasets
+            .iter()
+            .enumerate()
+            .map(|(di, (_, g))| {
+                let mut rng = cell_rng(config.seed, di, usize::MAX, 0, 0);
+                QuerySuite::evaluate_all(g, &config.queries, &config.query_params, &mut rng)
+            })
+            .collect()
+    });
 
     // Task grid: (dataset, algorithm, epsilon), in outcome order.
     let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
@@ -464,8 +519,6 @@ pub fn run_benchmark(
             }
         }
     }
-    let budget =
-        if config.threads == 0 { crate::par::available_parallelism() } else { config.threads };
     let outcomes = match config.sched {
         Scheduler::Static => {
             run_grid_static(algorithms, datasets, config, &true_values, &tasks, budget)
@@ -601,6 +654,41 @@ mod tests {
                 assert_eq!(
                     serial, other,
                     "CSV must not depend on threads = {threads}, sched = {sched:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csv_byte_identical_on_evaluation_heavy_grid() {
+        // The evaluation-side mirror of the sweep above: a dense graph and
+        // the full 15-query suite make `QuerySuite::evaluate_all` (triangle
+        // pass, BFS sweep, Louvain, EVC) dominate each cell, and the cheap
+        // generator keeps generation out of the picture. The parallel
+        // shared passes must leave the CSV byte-identical across both
+        // schedulers and every thread budget.
+        let mut rng = StdRng::seed_from_u64(7);
+        let datasets = vec![("dense".to_string(), pgb_models::erdos_renyi_gnp(120, 0.3, &mut rng))];
+        let algorithms: Vec<Box<dyn GraphGenerator>> = vec![Box::new(TmF::default())];
+        let mut config = BenchmarkConfig {
+            epsilons: vec![0.5, 5.0],
+            repetitions: 2,
+            queries: Query::ALL.to_vec(),
+            seed: 77,
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = run_benchmark(&algorithms, &datasets, &config).to_csv();
+        // 1 dataset × 1 algorithm × 2 ε × 15 queries + header.
+        assert_eq!(serial.lines().count(), 31);
+        for sched in [Scheduler::Elastic, Scheduler::Static] {
+            config.sched = sched;
+            for threads in [2, 8, 0] {
+                config.threads = threads;
+                let other = run_benchmark(&algorithms, &datasets, &config).to_csv();
+                assert_eq!(
+                    serial, other,
+                    "evaluation-heavy CSV must not depend on threads = {threads}, sched = {sched:?}"
                 );
             }
         }

@@ -38,11 +38,18 @@ pub mod der;
 pub mod dgg;
 pub mod dpdk;
 pub mod generator;
-pub mod par;
 pub mod privgraph;
 pub mod privhrg;
 pub mod privskg;
 pub mod tmf;
+
+/// The deterministic parallelism layer (chunked index ranges, derived RNG
+/// streams, scoped thread budgets, the elastic [`par::BudgetLedger`]) now
+/// lives in the foundational `pgb-par` crate so `pgb-graph`, `pgb-queries`,
+/// and `pgb-community` can parallelise the query-suite hot passes on the
+/// same discipline; this alias keeps every historical
+/// `pgb_core::par::…` / `crate::par::…` path working unchanged.
+pub use pgb_par as par;
 
 pub use der::Der;
 pub use dgg::Dgg;

@@ -4,19 +4,25 @@
 //!   shape where the old static split strands threads) produces
 //!   byte-identical CSV across `Scheduler::{Static, Elastic}` × threads
 //!   {1, 2, 8, 0}, and
+//! * the elastic scheduler claims (cell, repetition-block) sub-tasks in
+//!   descending static-cost order (algorithm weight × n²) while emitting
+//!   the exact same grid as grid-order claiming, and
 //! * [`BudgetLedger`] invariants survive arbitrary claim/release
 //!   interleavings: outstanding grants never exceed the oversubscription
 //!   bound `budget + workers − 1`, pooled accounting is exact
 //!   (`available + Σ outstanding pooled ≡ budget`), released threads are
 //!   re-grantable, and the ledger drains back to exactly `budget`.
 
-use pgb_core::benchmark::{run_benchmark, BenchmarkConfig, Scheduler};
+use pgb_core::benchmark::{algorithm_cost_weight, run_benchmark, BenchmarkConfig, Scheduler};
+use pgb_core::generator::GenerateError;
 use pgb_core::par::{available_parallelism, BudgetLedger, Grant};
 use pgb_core::{GraphGenerator, TmF};
+use pgb_graph::Graph;
 use pgb_queries::Query;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn csv_byte_identical_across_schedulers_on_tail_heavy_grid() {
@@ -48,6 +54,77 @@ fn csv_byte_identical_across_schedulers_on_tail_heavy_grid() {
             assert_eq!(csv, reference, "CSV drifted at sched = {sched:?}, threads = {threads}");
         }
     }
+}
+
+/// A generator that records every `generate` call as `(name, n, ε)` into a
+/// shared log — with one worker (threads = 1), the call order *is* the
+/// elastic scheduler's claim order.
+struct Recording {
+    label: &'static str,
+    log: Arc<Mutex<Vec<(String, usize, f64)>>>,
+}
+
+impl GraphGenerator for Recording {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn generate(
+        &self,
+        graph: &Graph,
+        epsilon: f64,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Graph, GenerateError> {
+        self.log.lock().unwrap().push((self.label.to_string(), graph.node_count(), epsilon));
+        Ok(graph.clone())
+    }
+}
+
+#[test]
+fn elastic_claims_expensive_cells_first_without_changing_output() {
+    // Cost key: weight(algorithm) × n². With weights DER = 16, TmF = 1 and
+    // datasets of 20 vs 90 nodes the descending order *interleaves* the
+    // algorithms — DER/90 (129600) > TmF/90 (8100) > DER/20 (6400) >
+    // TmF/20 (400) — which is exactly what distinguishes a genuine cost
+    // sort from "all of algorithm A first" or plain grid order.
+    assert!(algorithm_cost_weight("DER") > algorithm_cost_weight("TmF"));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
+        Box::new(Recording { label: "TmF", log: Arc::clone(&log) }),
+        Box::new(Recording { label: "DER", log: Arc::clone(&log) }),
+    ];
+    let mut rng = StdRng::seed_from_u64(21);
+    let datasets = vec![
+        ("small".to_string(), pgb_models::erdos_renyi_gnp(20, 0.2, &mut rng)),
+        ("large".to_string(), pgb_models::erdos_renyi_gnp(90, 0.08, &mut rng)),
+    ];
+    let config = BenchmarkConfig {
+        epsilons: vec![1.0],
+        repetitions: 1,
+        queries: vec![Query::EdgeCount, Query::Triangles],
+        seed: 5,
+        threads: 1, // one worker ⇒ generation order ≡ claim order
+        sched: Scheduler::Elastic,
+        ..Default::default()
+    };
+    let results = run_benchmark(&algorithms, &datasets, &config);
+    let claimed: Vec<(String, usize)> =
+        log.lock().unwrap().iter().map(|(name, n, _)| (name.clone(), *n)).collect();
+    let expected: Vec<(String, usize)> = [("DER", 90), ("TmF", 90), ("DER", 20), ("TmF", 20)]
+        .map(|(s, n)| (s.to_string(), n))
+        .to_vec();
+    assert_eq!(claimed, expected, "sub-tasks must be claimed in descending cost order");
+
+    // Scheduling only: the emitted grid is identical to grid-order claiming
+    // (the static scheduler) at any thread count.
+    let reference = {
+        let mut c = config.clone();
+        c.sched = Scheduler::Static;
+        run_benchmark(&algorithms, &datasets, &c).to_csv()
+    };
+    assert_eq!(results.to_csv(), reference, "cost-aware claiming changed the CSV");
+    let row0 = &results.outcomes[0];
+    assert_eq!((row0.dataset.as_str(), row0.algorithm.as_str()), ("small", "TmF"), "grid order");
 }
 
 proptest! {

@@ -1,12 +1,18 @@
-//! Deterministic intra-cell parallelism for the generators' hot loops.
+//! # pgb-par
 //!
-//! The benchmark runner parallelises across grid *cells*, but a grid with
-//! few (dataset, algorithm, ε) cells leaves most cores idle while TmF scans
-//! the upper triangle, DER fills its quadtree leaves, PrivSKG drops
-//! Kronecker edges, and PrivGraph samples intra/inter-community edges. All
-//! four perturbation/construction phases are embarrassingly parallel over
-//! independent regions, so this module gives them a shared harness with one
-//! hard guarantee: **output is byte-identical at any thread count**.
+//! The deterministic parallelism foundation of the PGB workspace. The
+//! benchmark runner parallelises across grid *cells*, but a grid with few
+//! (dataset, algorithm, ε) cells leaves most cores idle while TmF scans the
+//! upper triangle, DER fills its quadtree leaves — or, on the evaluation
+//! side, while the query suite runs its triangle pass and BFS sweep over a
+//! large synthetic graph. All of those phases are embarrassingly parallel
+//! over independent regions, so this crate gives them a shared harness with
+//! one hard guarantee: **output is byte-identical at any thread count**.
+//!
+//! `pgb_core::par` re-exports this crate wholesale, so generator call sites
+//! and the runner keep their historical paths; `pgb-graph`, `pgb-queries`,
+//! and `pgb-community` depend on it directly for the query-suite hot passes
+//! (degree histogram, triangle pass, BFS sweep, Louvain scans).
 //!
 //! ## The derived-stream chunking discipline
 //!
@@ -21,15 +27,27 @@
 //! on one thread or sixteen. Because every derived stream is independent,
 //! the sampled distribution is the same as a serial pass would produce.
 //!
+//! ## RNG-free passes
+//!
+//! Deterministic scans (histograms, triangle counting, BFS merging, graph
+//! coarsening) need the chunking discipline but no randomness, so they use
+//! [`par_map_chunks`] (chunk outputs concatenated in chunk order) and
+//! [`par_fold_chunks`] (per-chunk accumulators merged in chunk order).
+//! Bit-identity across thread budgets then rests on the *merge algebra*,
+//! not on scheduling: a merge that only appends in chunk order or combines
+//! exact integers is identical however chunks are grouped, which is why the
+//! query-suite passes keep every floating-point reduction out of the
+//! chunk-merge step (see `par_fold_chunks`' contract).
+//!
 //! ## The thread budget
 //!
-//! How many workers a [`par_collect`] call may use is scoped, not global:
+//! How many workers a parallel section may use is scoped, not global:
 //! [`with_parallelism`] pins the budget for the current thread (the runner
 //! uses it to split `BenchmarkConfig::threads` between cell-level workers
 //! and intra-cell parallelism), and [`current_parallelism`] reads it,
 //! falling back to the machine's available parallelism when unset. Nested
-//! parallel sections inside a `par_collect` worker run serially — the
-//! budget is already spent one level up.
+//! parallel sections inside a worker run serially — the budget is already
+//! spent one level up.
 //!
 //! How a *pool of workers* divides a shared budget over a draining task
 //! queue is the job of [`BudgetLedger`]: workers re-claim their share per
@@ -75,7 +93,7 @@ pub fn current_parallelism() -> usize {
 /// (0 ⇒ reset to the available-parallelism default), restoring the previous
 /// budget afterwards — panic-safe, scoped, and per-thread.
 ///
-/// The budget only affects *scheduling*; results of the `par_collect` calls
+/// The budget only affects *scheduling*; results of the parallel sections
 /// inside `f` are identical for every value of `threads`.
 pub fn with_parallelism<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     struct Restore(usize);
@@ -113,7 +131,12 @@ pub fn with_parallelism<T>(threads: usize, f: impl FnOnce() -> T) -> T {
 ///
 /// Grants are *scheduling only*: callers run their task under
 /// [`with_parallelism`]`(grant.threads(), …)`, and the derived-stream
-/// discipline makes the task's output identical for every grant size.
+/// discipline makes the task's output identical for every grant size. The
+/// same goes for the *order* tasks are handed out in: the ledger pops
+/// indices `0, 1, 2, …` over whatever task list the caller built, so a
+/// caller that wants expensive tasks claimed first simply sorts its task
+/// list by a cost key before creating the ledger (the benchmark runner's
+/// cost-aware claim order does exactly that).
 #[derive(Debug)]
 pub struct BudgetLedger {
     budget: usize,
@@ -249,6 +272,41 @@ pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<Range<usize>> {
     (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
 }
 
+/// Runs `produce` once per chunk over [`current_parallelism`] workers with
+/// a dynamic cursor and returns the per-chunk outputs **in chunk order**.
+/// The shared engine behind [`par_collect`], [`par_map_chunks`], and
+/// [`par_fold_chunks`]; callers have already handled the `workers <= 1`
+/// inline case.
+fn run_chunks<T, F>(ranges: &[Range<usize>], workers: usize, produce: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let slots: Vec<OnceLock<T>> = (0..ranges.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // A worker *is* the parallelism; anything nested runs serial.
+                with_parallelism(1, || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    assert!(
+                        slots[i].set(produce(i, ranges[i].clone())).is_ok(),
+                        "the atomic cursor hands out each chunk once"
+                    );
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every claimed chunk publishes its slot"))
+        .collect()
+}
+
 /// Runs `f` once per chunk of `0..len` and returns all chunk outputs
 /// concatenated in chunk order.
 ///
@@ -274,32 +332,99 @@ where
         }
         return out;
     }
-    let slots: Vec<OnceLock<Vec<T>>> = (0..ranges.len()).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // A worker *is* the parallelism; anything nested runs serial.
-                with_parallelism(1, || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= ranges.len() {
-                        break;
-                    }
-                    let mut chunk_rng = derive_stream(base, i as u64);
-                    let mut out = Vec::new();
-                    f(ranges[i].clone(), &mut chunk_rng, &mut out);
-                    assert!(
-                        slots[i].set(out).is_ok(),
-                        "the atomic cursor hands out each chunk once"
-                    );
-                });
-            });
-        }
+    let parts = run_chunks(&ranges, workers, |i, r| {
+        let mut out = Vec::new();
+        f(r, &mut derive_stream(base, i as u64), &mut out);
+        out
     });
-    let parts: Vec<Vec<T>> = slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every claimed chunk publishes its slot"))
-        .collect();
+    concat(parts)
+}
+
+/// RNG-free sibling of [`par_collect`]: runs `f` once per chunk of
+/// `0..len` and returns all chunk outputs concatenated in chunk order.
+///
+/// For deterministic per-index maps (degree extraction, adjacency
+/// filtering, per-node feature vectors): the chunk decomposition is fixed
+/// by `(len, chunk)` and outputs concatenate in chunk order, so the result
+/// is identical at any thread budget — each element is computed
+/// independently and lands at the same position regardless of scheduling.
+pub fn par_map_chunks<T, F>(len: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(Range<usize>, &mut Vec<T>) + Sync,
+{
+    let ranges = chunk_ranges(len, chunk);
+    let workers = current_parallelism().min(ranges.len());
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for r in ranges {
+            f(r, &mut out);
+        }
+        return out;
+    }
+    let parts = run_chunks(&ranges, workers, |_, r| {
+        let mut out = Vec::new();
+        f(r, &mut out);
+        out
+    });
+    concat(parts)
+}
+
+/// Parallel chunked fold: `fold` accumulates each chunk of `0..len` into
+/// an accumulator from `init`, and accumulators are combined **in chunk
+/// order** with `merge`. Returns `init()` when `len == 0`.
+///
+/// ## Bit-identity contract
+///
+/// A thread budget of 1 folds every chunk into a *single* accumulator (no
+/// per-chunk allocation, no merge — the sequential pass, verbatim), while
+/// a parallel run folds per-chunk accumulators and merges them in chunk
+/// order. Results are therefore byte-identical across thread budgets iff
+/// fold-then-merge regroups freely, which holds for the accumulators the
+/// query-suite passes use:
+///
+/// * exact-integer arithmetic (`u64` histogram counts, triangle credits,
+///   `u128` distance totals, `max` reductions) — associative and
+///   commutative, any grouping yields the same bits;
+/// * order-preserving appends (bucket lists, concatenated rows) — chunk
+///   order is the element order either way.
+///
+/// Keep floating-point *summation* out of `merge`: `(a + b) + c` and
+/// `a + (b + c)` may differ in the last ulp, so a float accumulator would
+/// make the 1-thread and n-thread groupings drift. The query-suite passes
+/// instead carry floats through appends and do the arithmetic afterwards
+/// in a fixed order.
+pub fn par_fold_chunks<A, I, F, M>(len: usize, chunk: usize, init: I, fold: F, mut merge: M) -> A
+where
+    A: Send + Sync,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, Range<usize>) + Sync,
+    M: FnMut(&mut A, A),
+{
+    let ranges = chunk_ranges(len, chunk);
+    let workers = current_parallelism().min(ranges.len());
+    if workers <= 1 {
+        let mut acc = init();
+        for r in ranges {
+            fold(&mut acc, r);
+        }
+        return acc;
+    }
+    let parts = run_chunks(&ranges, workers, |_, r| {
+        let mut acc = init();
+        fold(&mut acc, r);
+        acc
+    });
+    let mut parts = parts.into_iter();
+    let mut acc = parts.next().expect("workers > 1 implies at least one chunk");
+    for part in parts {
+        merge(&mut acc, part);
+    }
+    acc
+}
+
+/// Concatenates chunk outputs in chunk order.
+fn concat<T>(parts: Vec<Vec<T>>) -> Vec<T> {
     let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
     for part in parts {
         out.extend(part);
@@ -379,6 +504,82 @@ mod tests {
         assert!(out.is_empty());
         b.next_u64();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn map_chunks_equals_sequential_map_at_any_budget() {
+        let expected: Vec<u64> = (0..5_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 3, 8, 0] {
+            let got = with_parallelism(threads, || {
+                par_map_chunks(5_000, 64, |range, out| {
+                    for i in range {
+                        out.push((i as u64).wrapping_mul(0x9E37));
+                    }
+                })
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_range() {
+        let out: Vec<u8> = par_map_chunks(0, 16, |_, _| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fold_chunks_integer_accumulators_budget_invariant() {
+        // An exact-integer histogram: fold-then-merge regroups freely, so
+        // every budget (including the single-accumulator inline path) must
+        // produce identical bytes.
+        let run = |threads: usize| {
+            with_parallelism(threads, || {
+                par_fold_chunks(
+                    10_000,
+                    128,
+                    || vec![0u64; 7],
+                    |acc, range| {
+                        for i in range {
+                            acc[i % 7] += (i as u64) % 13;
+                        }
+                    },
+                    |acc, other| {
+                        for (a, b) in acc.iter_mut().zip(other) {
+                            *a += b;
+                        }
+                    },
+                )
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8, 0] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_chunks_append_merge_preserves_chunk_order() {
+        // Order-preserving appends: the merged list is the chunk-order
+        // concatenation, i.e. exactly the sequential traversal order.
+        let expected: Vec<usize> = (0..1_000).collect();
+        for threads in [1, 2, 8] {
+            let got = with_parallelism(threads, || {
+                par_fold_chunks(
+                    1_000,
+                    32,
+                    Vec::new,
+                    |acc: &mut Vec<usize>, range| acc.extend(range),
+                    |acc, mut other| acc.append(&mut other),
+                )
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_chunks_empty_range_returns_init() {
+        let acc = par_fold_chunks(0, 16, || 42u64, |_, _| unreachable!(), |_, _| unreachable!());
+        assert_eq!(acc, 42);
     }
 
     #[test]

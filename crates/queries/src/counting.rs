@@ -1,29 +1,185 @@
 //! Counting queries: triangles (Q3) and wedge counts (shared with the
 //! clustering queries).
+//!
+//! All triangle work goes through one [`ForwardOrientation`]: the
+//! degree-ordered forward orientation of the graph, built **once** and
+//! shared by [`triangle_count`] and [`triangles_per_node`] (the suite
+//! evaluator additionally derives the total from the per-node pass, so the
+//! full 15-query suite orients and intersects exactly once per graph).
+//!
+//! The intersection loops are chunked over pivot nodes and run on the
+//! ambient [`pgb_par::current_parallelism`] budget. Per-chunk credit
+//! arrays are merged in chunk order, and because every count is an exact
+//! integer the result is bit-identical to the sequential reference
+//! ([`seq`]) at any thread count — the same discipline the generators
+//! follow in `pgb-core`.
 
 use pgb_graph::{Graph, NodeId};
 
-/// Exact triangle count via the forward (node-ordering) algorithm:
-/// each triangle `u < v < w` is found once by intersecting the
-/// higher-neighbour lists of `u` and `v`. Runs in
-/// `O(Σ_edges min(d⁺(u), d⁺(v)))`.
-pub fn triangle_count(g: &Graph) -> u64 {
-    let n = g.node_count();
-    // forward[u] = sorted neighbours of u that are > u.
-    let forward: Vec<&[NodeId]> = (0..n as u32)
-        .map(|u| {
-            let nbrs = g.neighbors(u);
-            let start = nbrs.partition_point(|&v| v <= u);
-            &nbrs[start..]
-        })
-        .collect();
-    let mut count = 0u64;
-    for u in 0..n {
-        for &v in forward[u] {
-            count += sorted_intersection_count(forward[u], forward[v as usize]);
+/// Pivot nodes per chunk for the parallel triangle pass. Coarse on
+/// purpose: every chunk produces a full `n`-length credit array that
+/// lives until the chunk-order merge, so the chunk count (at most
+/// `TRIANGLE_CHUNK_DIVISOR`, the divisor of `n` that sets the chunk
+/// size) bounds transient memory at
+/// `(TRIANGLE_CHUNK_DIVISOR + 1) × n × 8` bytes (≈ 13.6 MB at n = 10⁵)
+/// while still leaving an 8-way budget enough chunks to load-balance
+/// skewed pivots. Depends only on `n` — never on the thread count.
+const TRIANGLE_CHUNK_DIVISOR: usize = 16;
+
+/// Floor for the triangle chunk size: below this many pivots the pass is
+/// too cheap to be worth splitting.
+const TRIANGLE_CHUNK_MIN: usize = 1024;
+
+fn triangle_chunk(n: usize) -> usize {
+    n.div_ceil(TRIANGLE_CHUNK_DIVISOR).max(TRIANGLE_CHUNK_MIN)
+}
+
+/// Nodes per chunk for linear scans (orientation build, wedge counting).
+const NODE_CHUNK: usize = 16_384;
+
+/// The degree-ordered forward orientation of a graph: each undirected edge
+/// `{u, v}` is kept only at its lower-ranked endpoint, where node rank is
+/// the lexicographic pair `(degree, id)`.
+///
+/// Orienting towards higher degree bounds every forward list by roughly
+/// `O(√m)` on skewed (power-law) graphs, so the intersection cost
+/// `Σ_edges min(|F(u)|, |F(v)|)` drops well below the id-ordered variant —
+/// the standard forward/“compact-forward” trick. Forward lists preserve
+/// the CSR id-sort, so two lists intersect with one linear merge.
+///
+/// Counts are orientation-independent graph properties, so everything
+/// derived here is bit-identical to the id-ordered sequential reference in
+/// [`seq`].
+pub struct ForwardOrientation {
+    /// `offsets[u]..offsets[u + 1]` is node `u`'s forward segment in
+    /// `targets`; `n + 1` entries, `offsets[n] == m`.
+    offsets: Vec<u32>,
+    /// Concatenated forward lists, id-sorted within each segment.
+    targets: Vec<NodeId>,
+}
+
+impl ForwardOrientation {
+    /// Builds the orientation in one chunked parallel pass over the CSR
+    /// adjacency (per-node forward lists concatenate in node order, so the
+    /// arrays are identical at any thread count).
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let (counts, targets) = pgb_par::par_fold_chunks(
+            n,
+            NODE_CHUNK,
+            || (Vec::new(), Vec::new()),
+            |(counts, targets): &mut (Vec<u32>, Vec<NodeId>), range| {
+                for u in range {
+                    let u = u as NodeId;
+                    let du = g.degree(u);
+                    let before = targets.len();
+                    for &v in g.neighbors(u) {
+                        if (g.degree(v), v) > (du, u) {
+                            targets.push(v);
+                        }
+                    }
+                    counts.push((targets.len() - before) as u32);
+                }
+            },
+            |acc, mut other| {
+                acc.0.append(&mut other.0);
+                acc.1.append(&mut other.1);
+            },
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut running = 0u32;
+        offsets.push(0);
+        for c in counts {
+            running += c;
+            offsets.push(running);
         }
+        ForwardOrientation { offsets, targets }
     }
-    count
+
+    /// Number of nodes of the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The forward (higher-ranked) neighbours of `u`, id-sorted.
+    fn forward(&self, u: usize) -> &[NodeId] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Exact triangle count: each triangle is found exactly once, at its
+    /// minimum-rank corner, by intersecting two forward lists.
+    pub fn triangle_count(&self) -> u64 {
+        let n = self.node_count();
+        pgb_par::par_fold_chunks(
+            n,
+            triangle_chunk(n),
+            || 0u64,
+            |count, range| {
+                for u in range {
+                    let fu = self.forward(u);
+                    for &v in fu {
+                        *count += sorted_intersection_count(fu, self.forward(v as usize));
+                    }
+                }
+            },
+            |count, other| *count += other,
+        )
+    }
+
+    /// Per-node triangle participation: `t[u]` = number of triangles
+    /// through `u`. Each chunk of pivots credits all three corners into
+    /// its own array; chunk arrays merge in chunk order (exact `u64`
+    /// adds, so the merge grouping cannot change the bits).
+    pub fn triangles_per_node(&self) -> Vec<u64> {
+        let n = self.node_count();
+        pgb_par::par_fold_chunks(
+            n,
+            triangle_chunk(n),
+            || vec![0u64; n],
+            |t, range| {
+                for u in range {
+                    let fu = self.forward(u);
+                    for &v in fu {
+                        let fv = self.forward(v as usize);
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < fu.len() && j < fv.len() {
+                            match fu[i].cmp(&fv[j]) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    let w = fu[i];
+                                    t[u] += 1;
+                                    t[v as usize] += 1;
+                                    t[w as usize] += 1;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+            |t, other| {
+                for (a, b) in t.iter_mut().zip(other) {
+                    *a += b;
+                }
+            },
+        )
+    }
+}
+
+/// Exact triangle count via the degree-ordered forward orientation; see
+/// [`ForwardOrientation`]. Callers that also need per-node counts should
+/// build the orientation once and call both methods on it.
+pub fn triangle_count(g: &Graph) -> u64 {
+    ForwardOrientation::new(g).triangle_count()
+}
+
+/// Per-node triangle participation: `t[u]` = number of triangles through
+/// `u`. Used by the local clustering coefficients. Builds a fresh
+/// [`ForwardOrientation`]; share one across calls where possible.
+pub fn triangles_per_node(g: &Graph) -> Vec<u64> {
+    ForwardOrientation::new(g).triangles_per_node()
 }
 
 /// Number of elements common to two sorted slices.
@@ -43,50 +199,96 @@ fn sorted_intersection_count(a: &[NodeId], b: &[NodeId]) -> u64 {
     count
 }
 
-/// Number of wedges (paths of length 2): `Σ_u C(dᵤ, 2)`.
+/// Number of wedges (paths of length 2): `Σ_u C(dᵤ, 2)`. Chunked over
+/// nodes; exact `u64` partial sums merge in chunk order.
 pub fn wedge_count(g: &Graph) -> u64 {
-    g.nodes()
-        .map(|u| {
-            let d = g.degree(u) as u64;
-            d * d.saturating_sub(1) / 2
-        })
-        .sum()
+    pgb_par::par_fold_chunks(
+        g.node_count(),
+        NODE_CHUNK,
+        || 0u64,
+        |sum, range| {
+            for u in range {
+                let d = g.degree(u as NodeId) as u64;
+                *sum += d * d.saturating_sub(1) / 2;
+            }
+        },
+        |sum, other| *sum += other,
+    )
 }
 
-/// Per-node triangle participation: `t[u]` = number of triangles through
-/// `u`. Used by the local clustering coefficients.
-pub fn triangles_per_node(g: &Graph) -> Vec<u64> {
-    let n = g.node_count();
-    let mut t = vec![0u64; n];
-    let forward: Vec<&[NodeId]> = (0..n as u32)
-        .map(|u| {
-            let nbrs = g.neighbors(u);
-            let start = nbrs.partition_point(|&v| v <= u);
-            &nbrs[start..]
-        })
-        .collect();
-    for u in 0..n {
-        for &v in forward[u] {
-            // Intersect and credit all three corners.
-            let (a, b) = (forward[u], forward[v as usize]);
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < a.len() && j < b.len() {
-                match a[i].cmp(&b[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        let w = a[i];
-                        t[u] += 1;
-                        t[v as usize] += 1;
-                        t[w as usize] += 1;
-                        i += 1;
-                        j += 1;
+/// Sequential reference implementations (the pre-refactor id-ordered
+/// forward algorithm). Kept public so the parallel-equivalence property
+/// tests and the `suite_scaling` bench can pin the chunked passes against
+/// the exact code that used to run.
+pub mod seq {
+    use super::sorted_intersection_count;
+    use pgb_graph::{Graph, NodeId};
+
+    /// Sequential [`super::triangle_count`]: id-ordered forward lists,
+    /// one thread, no chunking.
+    pub fn triangle_count(g: &Graph) -> u64 {
+        let n = g.node_count();
+        // forward[u] = sorted neighbours of u that are > u.
+        let forward: Vec<&[NodeId]> = (0..n as u32)
+            .map(|u| {
+                let nbrs = g.neighbors(u);
+                let start = nbrs.partition_point(|&v| v <= u);
+                &nbrs[start..]
+            })
+            .collect();
+        let mut count = 0u64;
+        for u in 0..n {
+            for &v in forward[u] {
+                count += sorted_intersection_count(forward[u], forward[v as usize]);
+            }
+        }
+        count
+    }
+
+    /// Sequential [`super::triangles_per_node`].
+    pub fn triangles_per_node(g: &Graph) -> Vec<u64> {
+        let n = g.node_count();
+        let mut t = vec![0u64; n];
+        let forward: Vec<&[NodeId]> = (0..n as u32)
+            .map(|u| {
+                let nbrs = g.neighbors(u);
+                let start = nbrs.partition_point(|&v| v <= u);
+                &nbrs[start..]
+            })
+            .collect();
+        for u in 0..n {
+            for &v in forward[u] {
+                // Intersect and credit all three corners.
+                let (a, b) = (forward[u], forward[v as usize]);
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let w = a[i];
+                            t[u] += 1;
+                            t[v as usize] += 1;
+                            t[w as usize] += 1;
+                            i += 1;
+                            j += 1;
+                        }
                     }
                 }
             }
         }
+        t
     }
-    t
+
+    /// Sequential [`super::wedge_count`].
+    pub fn wedge_count(g: &Graph) -> u64 {
+        g.nodes()
+            .map(|u| {
+                let d = g.degree(u) as u64;
+                d * d.saturating_sub(1) / 2
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +341,49 @@ mod tests {
     }
 
     #[test]
+    fn shared_orientation_feeds_both_counts() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let fwd = ForwardOrientation::new(&g);
+        assert_eq!(fwd.node_count(), 4);
+        assert_eq!(fwd.triangle_count(), 4);
+        assert_eq!(fwd.triangles_per_node().iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn orientation_keeps_every_edge_once() {
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)]).unwrap();
+        let fwd = ForwardOrientation::new(&g);
+        let kept: usize = (0..6).map(|u| fwd.forward(u).len()).collect::<Vec<_>>().iter().sum();
+        assert_eq!(kept, g.edge_count());
+        // Forward lists are id-sorted and only hold higher-ranked nodes.
+        for u in 0..6usize {
+            let f = fwd.forward(u);
+            assert!(f.windows(2).all(|w| w[0] < w[1]), "unsorted forward list at {u}");
+            for &v in f {
+                assert!(
+                    (g.degree(v), v) > (g.degree(u as u32), u as u32),
+                    "edge ({u},{v}) oriented against the degree order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_seq_reference_on_known_graphs() {
+        for (n, edges) in [
+            (6, vec![(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)]),
+            (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+            (4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+        ] {
+            let g = Graph::from_edges(n, edges).unwrap();
+            assert_eq!(triangle_count(&g), seq::triangle_count(&g));
+            assert_eq!(triangles_per_node(&g), seq::triangles_per_node(&g));
+            assert_eq!(wedge_count(&g), seq::wedge_count(&g));
+        }
+    }
+
+    #[test]
     fn agrees_with_bruteforce_on_random_graph() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
@@ -155,5 +400,6 @@ mod tests {
             }
         }
         assert_eq!(triangle_count(&g), brute);
+        assert_eq!(seq::triangle_count(&g), brute);
     }
 }

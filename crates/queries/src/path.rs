@@ -1,13 +1,30 @@
 //! Path-condition queries: diameter (Q7), average shortest path (Q8), and
 //! the distance distribution (Q9), computed in one BFS sweep.
+//!
+//! The sweep is parallel over sources: the source list is sampled first
+//! (same caller-RNG draws as the sequential reference — the BFS itself is
+//! deterministic, so no per-source randomness exists to derive), then
+//! chunks of sources each run their BFS into a chunk-local accumulator and
+//! the distance histograms merge **in source order**. Every merged
+//! quantity is an exact integer (`u64` histogram cells, `u128` distance
+//! total, `u32` max), so [`path_stats`] is bit-identical to
+//! [`path_stats_seq`] at any [`pgb_par::current_parallelism`] budget; the
+//! two ratios (`average_length`, the normalised distribution) are computed
+//! once from the merged integers.
 
 use crate::PathMode;
 use pgb_graph::traversal::{bfs_distances_into, UNREACHABLE};
 use pgb_graph::Graph;
 use rand::Rng;
 
+/// Sources per chunk for the parallel sweep: one BFS is already `O(n + m)`
+/// work, so small chunks load-balance without measurable handoff cost,
+/// while each chunk still amortises its distance-buffer allocation over
+/// several sources.
+const SOURCE_CHUNK: usize = 8;
+
 /// The three path statistics, bundled because they share the BFS sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PathStats {
     /// Largest finite distance observed (diameter of the covered pairs).
     pub diameter: u32,
@@ -31,20 +48,72 @@ pub fn path_stats<R: Rng + ?Sized>(g: &Graph, mode: PathMode, rng: &mut R) -> Pa
     if n == 0 {
         return PathStats { diameter: 0, average_length: 0.0, distance_distribution: vec![0.0] };
     }
-    let sources: Vec<u32> = match mode {
-        PathMode::Exact => (0..n as u32).collect(),
-        PathMode::Sampled { sources } => {
-            let k = sources.clamp(1, n);
-            // Uniform sample without replacement (partial Fisher–Yates).
-            let mut ids: Vec<u32> = (0..n as u32).collect();
-            for i in 0..k {
-                let j = rng.gen_range(i..n);
-                ids.swap(i, j);
+    let sources = sample_sources(n, mode, rng);
+
+    /// Chunk-local sweep state; `dist` is the reusable BFS scratch buffer
+    /// (merges ignore it).
+    struct Sweep {
+        hist: Vec<u64>,
+        total: u128,
+        pairs: u64,
+        diameter: u32,
+        dist: Vec<u32>,
+    }
+    let merged = pgb_par::par_fold_chunks(
+        sources.len(),
+        SOURCE_CHUNK,
+        || Sweep { hist: Vec::new(), total: 0, pairs: 0, diameter: 0, dist: Vec::new() },
+        |acc, range| {
+            for si in range {
+                let s = sources[si];
+                bfs_distances_into(g, s, &mut acc.dist);
+                for (v, &d) in acc.dist.iter().enumerate() {
+                    if d == UNREACHABLE || d == 0 || v as u32 == s {
+                        continue;
+                    }
+                    if d as usize >= acc.hist.len() {
+                        acc.hist.resize(d as usize + 1, 0);
+                    }
+                    acc.hist[d as usize] += 1;
+                    acc.total += d as u128;
+                    acc.pairs += 1;
+                    acc.diameter = acc.diameter.max(d);
+                }
             }
-            ids.truncate(k);
-            ids
-        }
-    };
+            // Drop the n-length scratch before the accumulator is parked
+            // for the chunk-order merge: an Exact-mode sweep has n/8
+            // chunks, and keeping every chunk's buffer alive until the
+            // merge barrier would cost O(n²/8) transient memory. The
+            // inline (1-thread) path re-allocates once per chunk instead
+            // of never — noise next to the chunk's 8 BFS traversals.
+            acc.dist = Vec::new();
+        },
+        |acc, other| {
+            if other.hist.len() > acc.hist.len() {
+                acc.hist.resize(other.hist.len(), 0);
+            }
+            for (h, o) in acc.hist.iter_mut().zip(other.hist) {
+                *h += o;
+            }
+            acc.total += other.total;
+            acc.pairs += other.pairs;
+            acc.diameter = acc.diameter.max(other.diameter);
+        },
+    );
+    finalize(merged.hist, merged.total, merged.pairs, merged.diameter)
+}
+
+/// The sequential reference implementation of [`path_stats`]: one
+/// left-to-right sweep reusing a single distance buffer. Consumes the same
+/// RNG draws and returns the same bits as the parallel sweep at any thread
+/// budget; kept public for the parallel-equivalence property tests and the
+/// `suite_scaling` bench.
+pub fn path_stats_seq<R: Rng + ?Sized>(g: &Graph, mode: PathMode, rng: &mut R) -> PathStats {
+    let n = g.node_count();
+    if n == 0 {
+        return PathStats { diameter: 0, average_length: 0.0, distance_distribution: vec![0.0] };
+    }
+    let sources = sample_sources(n, mode, rng);
     let mut hist: Vec<u64> = Vec::new();
     let mut dist_buf = Vec::new();
     let mut total: u128 = 0;
@@ -65,6 +134,30 @@ pub fn path_stats<R: Rng + ?Sized>(g: &Graph, mode: PathMode, rng: &mut R) -> Pa
             diameter = diameter.max(d);
         }
     }
+    finalize(hist, total, pairs, diameter)
+}
+
+/// The BFS source list for `mode` — all nodes, or a uniform sample without
+/// replacement (partial Fisher–Yates) drawn from `rng`. Shared by the
+/// parallel and sequential sweeps so both consume identical draws.
+fn sample_sources<R: Rng + ?Sized>(n: usize, mode: PathMode, rng: &mut R) -> Vec<u32> {
+    match mode {
+        PathMode::Exact => (0..n as u32).collect(),
+        PathMode::Sampled { sources } => {
+            let k = sources.clamp(1, n);
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            ids.truncate(k);
+            ids
+        }
+    }
+}
+
+/// Turns the merged integer sweep state into the reported statistics.
+fn finalize(hist: Vec<u64>, total: u128, pairs: u64, diameter: u32) -> PathStats {
     let average_length = if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 };
     let distance_distribution = if pairs == 0 {
         vec![0.0]
@@ -152,6 +245,17 @@ mod tests {
         );
         assert!(sam.diameter <= ex.diameter);
         assert!(sam.diameter + 1 >= ex.diameter, "sampled diameter too small");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_seq_reference() {
+        let mut rng = StdRng::seed_from_u64(313);
+        let g = pgb_models::erdos_renyi_gnp(150, 0.04, &mut rng);
+        for mode in [PathMode::Exact, PathMode::Sampled { sources: 17 }] {
+            let par = path_stats(&g, mode, &mut StdRng::seed_from_u64(9));
+            let seq = path_stats_seq(&g, mode, &mut StdRng::seed_from_u64(9));
+            assert_eq!(par, seq, "{mode:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,19 @@
 //! queries (everything except Louvain-backed Q12/Q13, and Q7–Q9 under
 //! [`crate::PathMode::Sampled`]) return bit-identical values either way.
 //!
+//! ## Parallelism
+//!
+//! The shared passes themselves are parallel: the degree histogram, the
+//! triangle pass (via the degree-ordered [`counting::ForwardOrientation`]),
+//! the BFS sweep, and Louvain's init/aggregation scans are chunked on
+//! `pgb-par`'s fixed-boundary discipline and pick up the **ambient**
+//! [`pgb_par::current_parallelism`] budget — the benchmark runner's
+//! schedulers already scope every repetition with
+//! `pgb_par::with_parallelism`, so evaluation scales with the intra-cell
+//! thread budget without any new plumbing, and every pass is bit-identical
+//! at any thread count (chunk merges are exact-integer or order-preserving
+//! appends only).
+//!
 //! ## RNG-stream discipline
 //!
 //! Randomised components must not make results depend on which other queries

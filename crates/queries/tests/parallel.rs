@@ -1,0 +1,127 @@
+//! Parallel ≡ sequential equivalence for the query-suite hot passes.
+//!
+//! The chunked passes (triangle counting via the degree-ordered forward
+//! orientation, the BFS sweep, the degree histogram) must return *exactly*
+//! the sequential reference's values — same integers, same float bits — at
+//! every thread budget, including 1 (inline), oversubscribed (8 on any
+//! machine), and 0 (reset to the ambient available-parallelism default).
+//! This is the evaluation-side mirror of `pgb-core`'s generator
+//! thread-invariance suite.
+
+use pgb_graph::degree::{degree_histogram, degree_histogram_seq};
+use pgb_graph::Graph;
+use pgb_par::with_parallelism;
+use pgb_queries::counting::{self, triangle_count, triangles_per_node, wedge_count};
+use pgb_queries::path::{path_stats, path_stats_seq};
+use pgb_queries::{PathMode, Query, QueryParams, QuerySuite};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The budgets every pass is swept over: inline, parallel, oversubscribed,
+/// and the ambient default.
+const BUDGETS: [usize; 4] = [1, 2, 8, 0];
+
+fn random_graph(n: usize, p_mille: u64, seed: u64) -> Graph {
+    // Dense-ish ER graph built from a hash so the proptest case fully
+    // determines it: edge {u, v} exists iff the mixed pair hash lands
+    // below `p_mille`/1000.
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            let mut h = seed ^ ((u as u64) << 32 | v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 32;
+            if h % 1000 < p_mille {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, edges).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn triangle_pass_matches_seq_at_all_budgets(
+        n in 2usize..120,
+        p in 0u64..400,
+        seed in 0u64..1 << 32,
+    ) {
+        let g = random_graph(n, p, seed);
+        let seq_per_node = counting::seq::triangles_per_node(&g);
+        let seq_total = counting::seq::triangle_count(&g);
+        let seq_wedges = counting::seq::wedge_count(&g);
+        for threads in BUDGETS {
+            let (per_node, total, wedges) = with_parallelism(threads, || {
+                (triangles_per_node(&g), triangle_count(&g), wedge_count(&g))
+            });
+            prop_assert_eq!(&per_node, &seq_per_node, "per-node, threads = {}", threads);
+            prop_assert_eq!(total, seq_total, "total, threads = {}", threads);
+            prop_assert_eq!(wedges, seq_wedges, "wedges, threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn bfs_sweep_matches_seq_at_all_budgets(
+        n in 2usize..100,
+        p in 0u64..120,
+        seed in 0u64..1 << 32,
+        sources in 1usize..24,
+    ) {
+        let g = random_graph(n, p, seed);
+        for mode in [PathMode::Exact, PathMode::Sampled { sources }] {
+            let reference = path_stats_seq(&g, mode, &mut StdRng::seed_from_u64(seed));
+            for threads in BUDGETS {
+                let stats = with_parallelism(threads, || {
+                    path_stats(&g, mode, &mut StdRng::seed_from_u64(seed))
+                });
+                prop_assert_eq!(&stats, &reference, "{:?}, threads = {}", mode, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_histogram_matches_seq_at_all_budgets(
+        n in 1usize..200,
+        p in 0u64..300,
+        seed in 0u64..1 << 32,
+    ) {
+        let g = random_graph(n, p, seed);
+        let reference = degree_histogram_seq(&g);
+        for threads in BUDGETS {
+            let hist = with_parallelism(threads, || degree_histogram(&g));
+            prop_assert_eq!(&hist, &reference, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_bit_identical_at_all_budgets(
+        n in 2usize..80,
+        p in 0u64..250,
+        seed in 0u64..1 << 32,
+    ) {
+        // End-to-end over the full 15-query suite (sampled BFS so the
+        // PATH stream is exercised): every QueryValue — scalars, float
+        // distributions, Louvain partitions — must be identical bits at
+        // every budget.
+        let g = random_graph(n, p, seed);
+        let params = QueryParams {
+            path_mode: PathMode::Sampled { sources: 8 },
+            ..QueryParams::default()
+        };
+        let run = |threads: usize| {
+            with_parallelism(threads, || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+                let values = QuerySuite::evaluate_all(&g, &Query::ALL, &params, &mut rng);
+                (values, rng.gen::<u64>())
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 8, 0] {
+            let got = run(threads);
+            prop_assert_eq!(&got.0, &reference.0, "values drifted at threads = {}", threads);
+            prop_assert_eq!(got.1, reference.1, "caller RNG position, threads = {}", threads);
+        }
+    }
+}

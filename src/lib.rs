@@ -5,6 +5,8 @@
 //! re-exports the whole workspace so applications can depend on a single
 //! crate:
 //!
+//! * [`par`] — the deterministic parallelism foundation (fixed chunking,
+//!   derived RNG streams, scoped thread budgets, the elastic ledger).
 //! * [`graph`] — undirected simple-graph substrate.
 //! * [`dp`] — differential-privacy mechanisms and sensitivity machinery.
 //! * [`models`] — classic random-graph constructors (ER, BA, Chung–Lu,
@@ -23,6 +25,7 @@ pub use pgb_dp as dp;
 pub use pgb_graph as graph;
 pub use pgb_metrics as metrics;
 pub use pgb_models as models;
+pub use pgb_par as par;
 pub use pgb_queries as queries;
 
 /// Convenience prelude pulling in the types most applications need.
