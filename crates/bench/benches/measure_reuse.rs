@@ -1,0 +1,117 @@
+//! The two-phase split's economics: what a measurement costs, what a
+//! re-sample costs, and how `--reuse cell` amortises the former.
+//!
+//! Three groups on a 10⁴-node Barabási–Albert graph:
+//!
+//! * `measure` / `sample` — the per-phase cost of each mechanism's
+//!   pipeline, isolated: `measure` runs representation + perturbation
+//!   (the ε-consuming phase), `sample` re-runs construction against one
+//!   cached [`pgb_core::PrivateSynthesis`] intermediate. The gap between
+//!   the two is the per-repetition saving measurement reuse buys.
+//! * `amortized_per_sample` — the real runner on a one-cell grid under
+//!   [`MeasureReuse::PerCell`] at reps ∈ {1, 4, 16}; throughput is in
+//!   repetitions, so Criterion reports the *per-sample* cost, which falls
+//!   toward the pure sample cost as the one measurement amortises.
+//!
+//! On startup the bench also prints each intermediate's `heap_bytes()`
+//! estimate next to the live-heap delta observed by the counting
+//! allocator, so the estimates stay honest.
+
+#[global_allocator]
+static ALLOC: pgb_bench::CountingAllocator = pgb_bench::CountingAllocator;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgb_bench::CountingAllocator;
+use pgb_core::benchmark::{run_benchmark, BenchmarkConfig, MeasureReuse};
+use pgb_core::{Dgg, DpDk, GraphGenerator, PrivGraph, TmF};
+use pgb_queries::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mechanisms() -> Vec<Box<dyn GraphGenerator>> {
+    // The suite minus the quadratic/MCMC heavyweights (DER, PrivHRG) and
+    // PrivSKG's 0-byte initiator: enough spread to show the split's range
+    // without hour-long bench runs at n = 10⁴.
+    vec![
+        Box::new(TmF::default()),
+        Box::new(Dgg::default()),
+        Box::new(DpDk::default()),
+        Box::new(PrivGraph::default()),
+    ]
+}
+
+fn bench_measure_reuse(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let g = pgb_models::barabasi_albert(10_000, 4, &mut rng);
+
+    // heap_bytes sanity print: estimate vs the allocator's live delta
+    // across the measurement (the delta includes the Box and struct
+    // overhead the estimate deliberately omits).
+    for algo in mechanisms() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = CountingAllocator::live();
+        let m = algo.measure(&g, 1.0, &mut rng).expect("measure");
+        let delta = CountingAllocator::live().saturating_sub(base);
+        eprintln!(
+            "{:<10} {:<32} heap_bytes = {:>10} B, live delta = {:>10} B",
+            algo.name(),
+            m.name(),
+            m.heap_bytes(),
+            delta
+        );
+    }
+
+    let mut group = c.benchmark_group("two_phase_split");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for algo in mechanisms() {
+        group.bench_with_input(BenchmarkId::new("measure", algo.name()), &algo, |b, algo| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(12);
+                algo.measure(&g, 1.0, &mut rng).expect("measure")
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(12);
+        let measured = algo.measure(&g, 1.0, &mut rng).expect("measure");
+        group.bench_with_input(BenchmarkId::new("sample", algo.name()), &measured, |b, m| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(13);
+                m.sample(&mut rng)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("amortized_per_sample");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let datasets = vec![("ba".to_string(), g.clone())];
+    for algo in mechanisms() {
+        let suite: Vec<Box<dyn GraphGenerator>> = match algo.name() {
+            "TmF" => vec![Box::new(TmF::default())],
+            "DGG" => vec![Box::new(Dgg::default())],
+            "DP-dK" => vec![Box::new(DpDk::default())],
+            _ => vec![Box::new(PrivGraph::default())],
+        };
+        for reps in [1usize, 4, 16] {
+            let config = BenchmarkConfig {
+                epsilons: vec![1.0],
+                repetitions: reps,
+                queries: vec![Query::EdgeCount],
+                seed: 10,
+                reuse: MeasureReuse::PerCell,
+                ..Default::default()
+            };
+            group.throughput(Throughput::Elements(reps as u64));
+            group.bench_with_input(BenchmarkId::new(algo.name(), reps), &config, |b, config| {
+                b.iter(|| run_benchmark(&suite, &datasets, config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure_reuse);
+criterion_main!(benches);

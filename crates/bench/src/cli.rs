@@ -1,6 +1,6 @@
 //! Minimal argument parsing shared by the harness binaries.
 
-use pgb_core::benchmark::Scheduler;
+use pgb_core::benchmark::{MeasureReuse, Scheduler};
 
 /// Experiment scale presets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +40,12 @@ pub struct HarnessArgs {
     /// static split is an escape hatch / baseline — output is
     /// byte-identical either way, only wall-clock differs.
     pub sched: Scheduler,
+    /// Measurement amortisation (`--reuse rep|cell`; rep default). Per-rep
+    /// is the paper-faithful pipeline; per-cell runs the ε-consuming
+    /// `measure` phase once per (dataset, algorithm, ε) cell and
+    /// re-samples it each repetition — the numbers change by design, but
+    /// stay deterministic in threads and scheduler.
+    pub reuse: MeasureReuse,
 }
 
 impl Default for HarnessArgs {
@@ -50,13 +56,14 @@ impl Default for HarnessArgs {
             seed: 0,
             threads: 0,
             sched: Scheduler::default(),
+            reuse: MeasureReuse::default(),
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `--scale`, `--reps`, `--seed`, `--threads` from an iterator
-    /// of arguments (unknown arguments error).
+    /// Parses `--scale`, `--reps`, `--seed`, `--threads`, `--sched`,
+    /// `--reuse` from an iterator of arguments (unknown arguments error).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
@@ -91,6 +98,11 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --sched: {e}"))?;
                 }
+                "--reuse" => {
+                    out.reuse = value_of("--reuse")?
+                        .parse()
+                        .map_err(|e| format!("invalid --reuse: {e}"))?;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -105,7 +117,7 @@ impl HarnessArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--scale small|medium|paper] [--reps N] [--seed N] [--threads N] \
-                     [--sched static|elastic]"
+                     [--sched static|elastic] [--reuse rep|cell]"
                 );
                 std::process::exit(2);
             }
@@ -133,6 +145,7 @@ mod tests {
         assert_eq!(a.repetitions(), 2);
         assert_eq!(a.seed, 0);
         assert_eq!(a.sched, Scheduler::Elastic);
+        assert_eq!(a.reuse, MeasureReuse::PerRep);
     }
 
     #[test]
@@ -148,6 +161,8 @@ mod tests {
             "4",
             "--sched",
             "static",
+            "--reuse",
+            "cell",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Paper);
@@ -155,6 +170,15 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.threads, 4);
         assert_eq!(a.sched, Scheduler::Static);
+        assert_eq!(a.reuse, MeasureReuse::PerCell);
+    }
+
+    #[test]
+    fn reuse_parses_both_modes() {
+        assert_eq!(parse(&["--reuse", "rep"]).unwrap().reuse, MeasureReuse::PerRep);
+        assert_eq!(parse(&["--reuse", "cell"]).unwrap().reuse, MeasureReuse::PerCell);
+        assert!(parse(&["--reuse", "always"]).is_err());
+        assert!(parse(&["--reuse"]).is_err());
     }
 
     #[test]

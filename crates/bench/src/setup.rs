@@ -47,6 +47,7 @@ pub fn benchmark_config(args: &HarnessArgs, max_nodes: usize) -> BenchmarkConfig
         seed: args.seed,
         threads: args.threads,
         sched: args.sched,
+        reuse: args.reuse,
         ..Default::default()
     }
 }
@@ -93,5 +94,13 @@ mod tests {
         use pgb_core::benchmark::Scheduler;
         let args = HarnessArgs { sched: Scheduler::Static, ..Default::default() };
         assert_eq!(benchmark_config(&args, 100).sched, Scheduler::Static);
+    }
+
+    #[test]
+    fn config_propagates_measure_reuse() {
+        use pgb_core::benchmark::MeasureReuse;
+        let args = HarnessArgs { reuse: MeasureReuse::PerCell, ..Default::default() };
+        assert_eq!(benchmark_config(&args, 100).reuse, MeasureReuse::PerCell);
+        assert_eq!(benchmark_config(&HarnessArgs::default(), 100).reuse, MeasureReuse::PerRep);
     }
 }

@@ -18,6 +18,6 @@ pub use metric::{compute_error, metric_for, ErrorMetric};
 pub use report::TextTable;
 pub use runner::{
     algorithm_cost_weight, run_benchmark, BenchmarkConfig, BenchmarkResults, ExperimentOutcome,
-    Scheduler,
+    MeasureReuse, Scheduler,
 };
 pub use scoring::{best_counts_per_case, best_counts_per_query};

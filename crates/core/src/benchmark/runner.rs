@@ -2,14 +2,14 @@
 //! averages repeated runs.
 
 use crate::benchmark::metric::{compute_error, metric_for, ErrorMetric};
-use crate::generator::GraphGenerator;
+use crate::generator::{GraphGenerator, PrivateSynthesis};
 use crate::par::BudgetLedger;
 use pgb_graph::Graph;
 use pgb_queries::{Query, QueryParams, QuerySuite, QueryValue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Configuration of a benchmark run: the P and U of the 4-tuple plus
 /// execution knobs (M and G are passed to [`run_benchmark`] directly).
@@ -37,6 +37,11 @@ pub struct BenchmarkConfig {
     /// [`Scheduler`]. Scheduling only: both variants produce byte-identical
     /// CSV for a fixed seed.
     pub sched: Scheduler,
+    /// How often the mechanisms' measure phase runs — see [`MeasureReuse`].
+    /// Unlike `sched`/`threads`, this knob *does* change the numbers:
+    /// per-cell reuse correlates a cell's repetitions through one shared
+    /// private intermediate.
+    pub reuse: MeasureReuse,
 }
 
 impl Default for BenchmarkConfig {
@@ -49,6 +54,52 @@ impl Default for BenchmarkConfig {
             seed: 0,
             threads: 0,
             sched: Scheduler::default(),
+            reuse: MeasureReuse::default(),
+        }
+    }
+}
+
+/// How [`run_benchmark`] amortises the mechanisms' two-phase split
+/// ([`GraphGenerator::measure`] / [`PrivateSynthesis::sample`]) over a
+/// cell's repetitions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MeasureReuse {
+    /// The paper-faithful default: every repetition runs the full
+    /// `measure` + `sample` pipeline on its own derived RNG stream —
+    /// repetitions are independent end-to-end draws of the mechanism, and
+    /// the CSV is byte-identical to the pre-split runner.
+    #[default]
+    PerRep,
+    /// Measurement reuse (the Private-PGM pattern): `measure` runs **once
+    /// per (dataset, algorithm, ε) cell** on a dedicated derived stream,
+    /// and each repetition only re-`sample`s the shared private
+    /// intermediate — free by DP post-processing invariance, and the
+    /// amortisation a serving layer batches on. Repetitions then share the
+    /// intermediate's noise, so per-cell averages estimate the *sampling*
+    /// variance around one measurement rather than the full mechanism
+    /// variance: numbers differ from [`MeasureReuse::PerRep`] by design
+    /// (they remain byte-identical across thread counts and schedulers).
+    PerCell,
+}
+
+impl MeasureReuse {
+    /// CLI-facing name (`"rep"` / `"cell"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MeasureReuse::PerRep => "rep",
+            MeasureReuse::PerCell => "cell",
+        }
+    }
+}
+
+impl std::str::FromStr for MeasureReuse {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "rep" => Ok(MeasureReuse::PerRep),
+            "cell" => Ok(MeasureReuse::PerCell),
+            other => Err(format!("unknown reuse mode {other:?} (expected \"rep\" or \"cell\")")),
         }
     }
 }
@@ -210,12 +261,38 @@ fn cell_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize, rep:
     StdRng::seed_from_u64(h)
 }
 
-/// One repetition of a cell: generate the synthetic graph on the cell's
-/// derived RNG, evaluate the query suite, and return the per-query errors
-/// — or `None` when generation failed (the repetition is skipped, not
-/// averaged). Both schedulers run repetitions through this one function,
-/// which is half of what makes their output byte-identical (the other half
-/// is [`reduce_cell`]'s fixed reduction order).
+/// The dedicated measure stream of a cell under [`MeasureReuse::PerCell`]:
+/// the `rep = usize::MAX` slot of the cell's derivation family, which no
+/// real repetition can occupy — whichever worker performs the cell's one
+/// measurement, it draws the same bytes.
+fn measure_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize) -> StdRng {
+    cell_rng(seed, dataset_idx, algo_idx, eps_idx, usize::MAX)
+}
+
+/// A cell's shared measurement under [`MeasureReuse::PerCell`]: the private
+/// intermediate, or `None` when `measure` failed (every repetition of the
+/// cell then skips, preserving the complete-grid `runs = 0` contract).
+type MeasuredCell = Option<Box<dyn PrivateSynthesis>>;
+
+/// Performs a cell's one shared measurement on its dedicated stream.
+fn measure_cell(
+    algorithm: &dyn GraphGenerator,
+    graph: &Graph,
+    config: &BenchmarkConfig,
+    (di, ai, ei): (usize, usize, usize),
+) -> MeasuredCell {
+    let mut rng = measure_rng(config.seed, di, ai, ei);
+    algorithm.measure(graph, config.epsilons[ei], &mut rng).ok()
+}
+
+/// One repetition of a cell: produce the synthetic graph on the rep's
+/// derived RNG — the full `generate` pipeline per-rep, or an ε-free
+/// `sample` of the cell's `shared` intermediate per-cell — evaluate the
+/// query suite, and return the per-query errors, or `None` when generation
+/// failed (the repetition is skipped, not averaged). Both schedulers run
+/// repetitions through this one function, which is half of what makes
+/// their output byte-identical (the other half is [`reduce_cell`]'s fixed
+/// reduction order).
 fn run_rep(
     algorithm: &dyn GraphGenerator,
     graph: &Graph,
@@ -223,9 +300,17 @@ fn run_rep(
     config: &BenchmarkConfig,
     (di, ai, ei): (usize, usize, usize),
     rep: usize,
+    shared: Option<&MeasuredCell>,
 ) -> Option<Vec<f64>> {
     let mut rng = cell_rng(config.seed, di, ai, ei, rep);
-    let synthetic = algorithm.generate(graph, config.epsilons[ei], &mut rng).ok()?;
+    let synthetic = match shared {
+        // Per-rep: the full measure + sample pipeline on the rep's stream.
+        None => algorithm.generate(graph, config.epsilons[ei], &mut rng).ok()?,
+        // Per-cell: ε-free re-sample of the cell's shared intermediate.
+        Some(Some(measured)) => measured.sample(&mut rng),
+        // Per-cell with a failed measurement: every rep of the cell skips.
+        Some(None) => return None,
+    };
     let values =
         QuerySuite::evaluate_all(&synthetic, &config.queries, &config.query_params, &mut rng);
     Some(
@@ -308,6 +393,10 @@ fn run_grid_static(
                     let (di, ai, ei) = tasks[t];
                     let (dataset_name, graph) = &datasets[di];
                     let algorithm = &algorithms[ai];
+                    // Static mode owns whole cells, so per-cell reuse needs
+                    // no cross-worker sharing: measure locally, once.
+                    let shared = (config.reuse == MeasureReuse::PerCell)
+                        .then(|| measure_cell(algorithm.as_ref(), graph, config, (di, ai, ei)));
                     let local = reduce_cell(
                         algorithm.name(),
                         dataset_name,
@@ -321,6 +410,7 @@ fn run_grid_static(
                                 config,
                                 (di, ai, ei),
                                 rep,
+                                shared.as_ref(),
                             )
                         }),
                     );
@@ -418,35 +508,58 @@ fn run_grid_elastic(
         key(b).cmp(&key(a)).then_with(|| (a.0, a.1.start).cmp(&(b.0, b.1.start)))
     });
     let workers = budget.min(subtasks.len()).max(1);
-    let ledger = BudgetLedger::new(budget, workers, subtasks.len());
+    let ledger = Arc::new(BudgetLedger::new(budget, workers, subtasks.len()));
     // One slot per (cell, repetition), cell-major — the reduction below
     // walks them in repetition order no matter who filled them when.
     let rep_slots: Vec<OnceLock<Option<Vec<f64>>>> =
         (0..cells * reps).map(|_| OnceLock::new()).collect();
+    // Per-cell shared measurements (per-cell reuse only): a cell's
+    // repetition blocks may land on different workers, so whichever worker
+    // gets there first measures on the cell's dedicated stream and the
+    // rest reuse it — `measure_rng` is a pure function of the cell
+    // coordinates, so the race's winner does not affect the bytes.
+    let measured: Vec<OnceLock<MeasuredCell>> = (0..cells).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let (ledger, subtasks, rep_slots) = (&ledger, &subtasks, &rep_slots);
+            let (ledger, subtasks, rep_slots, measured) =
+                (&ledger, &subtasks, &rep_slots, &measured);
             scope.spawn(move || {
                 while let Some((s, grant)) = ledger.claim() {
                     let (cell, rep_range) = &subtasks[s];
                     let (di, ai, ei) = tasks[*cell];
                     let (_, graph) = &datasets[di];
-                    crate::par::with_parallelism(grant.threads(), || {
-                        for rep in rep_range.clone() {
-                            let errors = run_rep(
-                                algorithms[ai].as_ref(),
-                                graph,
-                                &true_values[di],
-                                config,
-                                (di, ai, ei),
-                                rep,
-                            );
-                            rep_slots[*cell * reps + rep]
-                                .set(errors)
-                                .expect("the ledger hands out each sub-task once");
-                        }
-                    });
+                    // The whole sub-task — the one-time measurement
+                    // included — runs under an *elastic* scope: the grant
+                    // can grow mid-task as other workers release threads
+                    // (`BudgetLedger::regrant`, polled by `par_collect`).
+                    let ((), grant) =
+                        crate::par::with_elastic_parallelism(Arc::clone(ledger), grant, || {
+                            let shared = (config.reuse == MeasureReuse::PerCell).then(|| {
+                                measured[*cell].get_or_init(|| {
+                                    measure_cell(
+                                        algorithms[ai].as_ref(),
+                                        graph,
+                                        config,
+                                        (di, ai, ei),
+                                    )
+                                })
+                            });
+                            for rep in rep_range.clone() {
+                                let errors = run_rep(
+                                    algorithms[ai].as_ref(),
+                                    graph,
+                                    &true_values[di],
+                                    config,
+                                    (di, ai, ei),
+                                    rep,
+                                    shared,
+                                );
+                                rep_slots[*cell * reps + rep]
+                                    .set(errors)
+                                    .expect("the ledger hands out each sub-task once");
+                            }
+                        });
                     ledger.release(grant);
                 }
             });
@@ -485,6 +598,12 @@ fn run_grid_elastic(
 /// and per-cell errors always reduce in repetition order, so results are
 /// deterministic (byte-identical CSV) for a fixed seed regardless of
 /// thread count *and* scheduler.
+///
+/// Under [`MeasureReuse::PerCell`] each cell's ε-consuming `measure` phase
+/// runs once on a dedicated derived stream (shared across that cell's
+/// repetitions via a [`OnceLock`]) and repetitions only re-`sample` — the
+/// numbers differ from the per-rep default by design, but stay
+/// byte-identical across thread counts and schedulers all the same.
 ///
 /// Cells where every repetition's generation failed are still emitted, with
 /// `runs = 0` and `NaN` errors, so downstream reports always see the
@@ -553,12 +672,12 @@ mod tests {
             "Fails"
         }
 
-        fn generate(
+        fn measure(
             &self,
             _graph: &Graph,
             _epsilon: f64,
             _rng: &mut dyn rand::RngCore,
-        ) -> Result<Graph, GenerateError> {
+        ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
             Err(GenerateError::GraphTooSmall { required: usize::MAX, actual: 0 })
         }
     }
@@ -705,6 +824,46 @@ mod tests {
     }
 
     #[test]
+    fn measure_reuse_parses_and_defaults_to_per_rep() {
+        assert_eq!(BenchmarkConfig::default().reuse, MeasureReuse::PerRep);
+        assert_eq!("rep".parse::<MeasureReuse>(), Ok(MeasureReuse::PerRep));
+        assert_eq!("cell".parse::<MeasureReuse>(), Ok(MeasureReuse::PerCell));
+        assert!("once".parse::<MeasureReuse>().is_err());
+        assert_eq!(MeasureReuse::PerRep.name(), "rep");
+        assert_eq!(MeasureReuse::PerCell.name(), "cell");
+    }
+
+    #[test]
+    fn per_cell_reuse_is_deterministic_across_threads_and_schedulers() {
+        // Per-cell numbers legitimately differ from per-rep numbers, but
+        // within the mode the full determinism contract must hold: the CSV
+        // is byte-identical for every thread budget and both schedulers.
+        let (algorithms, datasets, mut config) = tiny_setup();
+        config.reuse = MeasureReuse::PerCell;
+        config.threads = 1;
+        let serial = run_benchmark(&algorithms, &datasets, &config).to_csv();
+        assert_eq!(serial.lines().count(), 13);
+        for sched in [Scheduler::Elastic, Scheduler::Static] {
+            config.sched = sched;
+            for threads in [2, 8, 0] {
+                config.threads = threads;
+                let other = run_benchmark(&algorithms, &datasets, &config).to_csv();
+                assert_eq!(
+                    serial, other,
+                    "per-cell CSV must not depend on threads = {threads}, sched = {sched:?}"
+                );
+            }
+        }
+        // And every cell still completes: sampling a shared intermediate
+        // succeeds wherever the full pipeline would have.
+        let results = run_benchmark(&algorithms, &datasets, &config);
+        for o in &results.outcomes {
+            assert_eq!(o.runs, 2, "{o:?}");
+            assert!(o.mean_error.is_finite(), "{o:?}");
+        }
+    }
+
+    #[test]
     fn failing_generator_complete_grid_under_both_schedulers() {
         // The complete-grid guarantee (runs = 0, NaN cells) must hold for
         // the elastic rep-slot path too: a failed repetition publishes
@@ -712,12 +871,15 @@ mod tests {
         let (_, datasets, mut config) = tiny_setup();
         let algorithms: Vec<Box<dyn GraphGenerator>> = vec![Box::new(AlwaysFails)];
         for sched in [Scheduler::Static, Scheduler::Elastic] {
-            config.sched = sched;
-            let results = run_benchmark(&algorithms, &datasets, &config);
-            assert_eq!(results.outcomes.len(), 6, "{sched:?}");
-            for o in &results.outcomes {
-                assert_eq!(o.runs, 0, "{sched:?}: {o:?}");
-                assert!(o.mean_error.is_nan(), "{sched:?}: {o:?}");
+            for reuse in [MeasureReuse::PerRep, MeasureReuse::PerCell] {
+                config.sched = sched;
+                config.reuse = reuse;
+                let results = run_benchmark(&algorithms, &datasets, &config);
+                assert_eq!(results.outcomes.len(), 6, "{sched:?} {reuse:?}");
+                for o in &results.outcomes {
+                    assert_eq!(o.runs, 0, "{sched:?} {reuse:?}: {o:?}");
+                    assert!(o.mean_error.is_nan(), "{sched:?} {reuse:?}: {o:?}");
+                }
             }
         }
     }

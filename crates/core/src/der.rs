@@ -9,9 +9,12 @@
 //! sequentially) — and reconstructs by spreading each leaf's noisy count
 //! uniformly over its cells.
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{
+    check_epsilon, vec_heap_bytes, GenerateError, GraphGenerator, PrivateSynthesis,
+};
 use crate::par;
 use pgb_dp::laplace::sample_laplace;
+use pgb_dp::BudgetAccountant;
 use pgb_graph::{Graph, GraphBuilder};
 use rand::{Rng, RngCore};
 
@@ -69,26 +72,73 @@ fn region_ones(g: &Graph, region: &Region) -> u64 {
     count
 }
 
+/// DER's private intermediate: the noisy quadtree, flattened to its
+/// leaves as `(region, noisy count, cells)`. Reconstruction spreads each
+/// leaf's count uniformly over its cells, reading nothing else from the
+/// input graph, so re-sampling is ε-free.
+#[derive(Clone, Debug)]
+pub struct DerSynthesis {
+    n: usize,
+    leaves: Vec<(Region, u64, u64)>,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for DerSynthesis {
+    fn name(&self) -> &'static str {
+        "DER"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        vec_heap_bytes(&self.leaves)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        if self.n < 2 {
+            return Graph::new(self.n);
+        }
+        // Reconstruction: every leaf's cells are sampled on its own derived
+        // stream — leaves are coarse, uneven work items, so one item per
+        // chunk lets the worker cursor load-balance them.
+        let leaves = &self.leaves;
+        let pairs: Vec<(u32, u32)> = par::par_collect(leaves.len(), 1, rng, |range, rng, out| {
+            for &(region, count, cells) in &leaves[range] {
+                sample_region_cells(&region, count, cells, rng, out);
+            }
+        });
+        let mut b = GraphBuilder::with_capacity(self.n, pairs.len());
+        b.extend(pairs);
+        b.build_parallel(par::current_parallelism()).expect("ids bounded by n")
+    }
+}
+
 impl GraphGenerator for Der {
     fn name(&self) -> &'static str {
         "DER"
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
         let n = graph.node_count();
         if n < 2 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(DerSynthesis { n, leaves: Vec::new(), epsilon }));
         }
         let depth_needed =
             ((n as f64 * n as f64 / self.leaf_cells as f64).log(4.0).ceil() as usize).max(1);
         let depth = depth_needed.min(self.max_depth.max(1));
-        let eps_level = epsilon / depth as f64;
+        // The depth levels compose sequentially (regions within a level are
+        // disjoint, so a level is one parallel-composition share).
+        let mut acc = BudgetAccountant::new(epsilon)?;
+        let eps_explore = acc.spend_remaining("quadtree region counts");
+        let eps_level = eps_explore / depth as f64;
 
         // Level-synchronous quadtree exploration. The serial version walked
         // a DFS stack, perturbing each region as it was pushed; here every
@@ -147,17 +197,7 @@ impl GraphGenerator for Der {
             });
         }
 
-        // Reconstruction: every leaf's cells are sampled on its own derived
-        // stream — leaves are coarse, uneven work items, so one item per
-        // chunk lets the worker cursor load-balance them.
-        let pairs: Vec<(u32, u32)> = par::par_collect(leaves.len(), 1, rng, |range, rng, out| {
-            for &(region, count, cells) in &leaves[range] {
-                sample_region_cells(&region, count, cells, rng, out);
-            }
-        });
-        let mut b = GraphBuilder::with_capacity(n, pairs.len());
-        b.extend(pairs);
-        Ok(b.build_parallel(par::current_parallelism()).expect("ids bounded by n"))
+        Ok(Box::new(DerSynthesis { n, leaves, epsilon: acc.total() }))
     }
 }
 

@@ -10,8 +10,11 @@
 //! under the central model so it is comparable with the rest of the suite
 //! (§V-A2), which is exactly what this module does.
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{
+    check_epsilon, vec_heap_bytes, GenerateError, GraphGenerator, PrivateSynthesis,
+};
 use pgb_dp::laplace::laplace_mechanism;
+use pgb_dp::BudgetAccountant;
 use pgb_graph::Graph;
 use pgb_models::{bter, BterParams};
 use rand::RngCore;
@@ -26,29 +29,58 @@ pub struct Dgg {
 /// L1 sensitivity of the degree sequence under edge neighbouring.
 const DEGREE_SENSITIVITY: f64 = 2.0;
 
+/// DGG's private intermediate: the Laplace-noised degree sequence. BTER
+/// construction reads only this, so re-sampling is ε-free.
+#[derive(Clone, Debug)]
+pub struct DggSynthesis {
+    noisy_degrees: Vec<u32>,
+    bter: BterParams,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for DggSynthesis {
+    fn name(&self) -> &'static str {
+        "DGG"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        vec_heap_bytes(&self.noisy_degrees)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        bter(&self.noisy_degrees, &self.bter, rng)
+    }
+}
+
 impl GraphGenerator for Dgg {
     fn name(&self) -> &'static str {
         "DGG"
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
+        let mut acc = BudgetAccountant::new(epsilon)?;
+        let eps_deg = acc.spend_remaining("degree sequence");
         let n = graph.node_count();
         let max_degree = n.saturating_sub(1) as f64;
         let noisy_degrees: Vec<u32> = graph
             .nodes()
             .map(|u| {
                 let noisy =
-                    laplace_mechanism(graph.degree(u) as f64, DEGREE_SENSITIVITY, epsilon, rng);
+                    laplace_mechanism(graph.degree(u) as f64, DEGREE_SENSITIVITY, eps_deg, rng);
                 noisy.round().clamp(0.0, max_degree) as u32
             })
             .collect();
-        Ok(bter(&noisy_degrees, &self.bter, rng))
+        Ok(Box::new(DggSynthesis { noisy_degrees, bter: self.bter.clone(), epsilon: acc.total() }))
     }
 }
 

@@ -11,9 +11,12 @@
 //!   in noise of a smaller magnitude"), giving (ε, δ)-DP with δ = 0.01,
 //!   and realised with the dK-2 stub-wiring constructor.
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{
+    check_epsilon, vec_heap_bytes, GenerateError, GraphGenerator, PrivateSynthesis,
+};
 use pgb_dp::laplace::sample_laplace;
 use pgb_dp::sensitivity::{dk2_local_sensitivity_at, smooth_sensitivity, SmoothParams};
+use pgb_dp::BudgetAccountant;
 use pgb_graph::degree::{degree_histogram, joint_degree_distribution, JointDegreeDistribution};
 use pgb_graph::Graph;
 use pgb_models::dk::{dk1_construct, dk2_construct};
@@ -47,8 +50,54 @@ impl Default for DpDk {
 /// nodes each move one unit of mass between two bins.
 const DK1_SENSITIVITY: f64 = 4.0;
 
+/// DP-dK's private intermediate: the noisy dK series — a rescaled degree
+/// histogram for dK-1, a renormalised joint degree distribution for dK-2.
+/// The stub-wiring constructors and the node-count projection read only
+/// this series, so re-sampling is ε-free.
+#[derive(Clone, Debug)]
+pub struct DkSynthesis {
+    series: DkSeries,
+    n: usize,
+    epsilon: f64,
+}
+
+#[derive(Clone, Debug)]
+enum DkSeries {
+    Dk1(Vec<u64>),
+    Dk2(JointDegreeDistribution),
+}
+
+impl PrivateSynthesis for DkSynthesis {
+    fn name(&self) -> &'static str {
+        match self.series {
+            DkSeries::Dk1(_) => "DP-1K",
+            DkSeries::Dk2(_) => "DP-dK",
+        }
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match &self.series {
+            DkSeries::Dk1(hist) => vec_heap_bytes(hist),
+            // HashMap buckets hold (key, value) plus control bytes.
+            DkSeries::Dk2(jdd) => jdd.capacity() * (std::mem::size_of::<((u32, u32), u64)>() + 1),
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        let out = match &self.series {
+            DkSeries::Dk1(hist) => dk1_construct(hist),
+            DkSeries::Dk2(jdd) => dk2_construct(jdd, rng),
+        };
+        conform_node_count(out, self.n, rng)
+    }
+}
+
 impl DpDk {
-    fn generate_dk1(&self, graph: &Graph, epsilon: f64, rng: &mut dyn RngCore) -> Graph {
+    fn measure_dk1(&self, graph: &Graph, epsilon: f64, rng: &mut dyn RngCore) -> DkSeries {
         let hist = degree_histogram(graph);
         let n = graph.node_count() as f64;
         let mut noisy: Vec<u64> = hist
@@ -68,10 +117,16 @@ impl DpDk {
                 *c = ((*c as f64) * scale).round() as u64;
             }
         }
-        dk1_construct(&noisy)
+        DkSeries::Dk1(noisy)
     }
 
-    fn generate_dk2(&self, graph: &Graph, epsilon: f64, rng: &mut dyn RngCore) -> Graph {
+    fn measure_dk2(
+        &self,
+        graph: &Graph,
+        eps_count: f64,
+        eps_jdd: f64,
+        rng: &mut dyn RngCore,
+    ) -> DkSeries {
         // Budget split: a small share estimates the edge total (global
         // sensitivity 1); the rest perturbs the dK-2 *distribution*. The
         // noisy distribution is renormalised to the noisy total — DP-2K
@@ -80,8 +135,6 @@ impl DpDk {
         // Laplace draws at hub-degree smooth sensitivity would inflate the
         // edge mass by orders of magnitude (the paper's Table XI shows
         // ~1.7× inflation at ε = 0.2, not 300×).
-        let eps_count = 0.1 * epsilon;
-        let eps_jdd = epsilon - eps_count;
         let m_tilde =
             (graph.edge_count() as f64 + sample_laplace(1.0 / eps_count, rng)).round().max(0.0);
 
@@ -113,7 +166,7 @@ impl DpDk {
                 }
             }
         }
-        dk2_construct(&target, rng)
+        DkSeries::Dk2(target)
     }
 }
 
@@ -132,18 +185,28 @@ impl GraphGenerator for DpDk {
         }
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
-        let out = match self.variant {
-            DkVariant::Dk1 => self.generate_dk1(graph, epsilon, rng),
-            DkVariant::Dk2 => self.generate_dk2(graph, epsilon, rng),
+        let mut acc = BudgetAccountant::new(epsilon)?;
+        let series = match self.variant {
+            DkVariant::Dk1 => {
+                let eps = acc.spend_remaining("degree histogram");
+                self.measure_dk1(graph, eps, rng)
+            }
+            DkVariant::Dk2 => {
+                // Budget split as in `measure_dk2`'s header comment: a small
+                // share estimates the edge total, the rest perturbs the JDD.
+                let eps_count = acc.spend("edge count", 0.1 * epsilon)?;
+                let eps_jdd = acc.spend_remaining("joint degree distribution");
+                self.measure_dk2(graph, eps_count, eps_jdd, rng)
+            }
         };
-        Ok(conform_node_count(out, graph.node_count(), rng))
+        Ok(Box::new(DkSynthesis { series, n: graph.node_count(), epsilon: acc.total() }))
     }
 }
 

@@ -42,12 +42,44 @@ impl From<pgb_dp::BudgetError> for GenerateError {
     }
 }
 
+/// A private intermediate: the output of a mechanism's *measure* phase.
+///
+/// This is the paper's representation + perturbation product — a noisy dK
+/// series, a perturbed dendrogram, a noisy quadtree, … — after which the
+/// raw graph is no longer needed. Because it is a function of the input
+/// only through an ε-DP mechanism, anything computed from it is DP by
+/// post-processing invariance: [`PrivateSynthesis::sample`] takes no ε and
+/// may be called arbitrarily often without further privacy cost. That is
+/// the measurement-reuse pattern the runner's per-cell mode amortises on.
+pub trait PrivateSynthesis: Send + Sync {
+    /// Name of the mechanism that produced this intermediate.
+    fn name(&self) -> &'static str;
+
+    /// The ε actually consumed producing this intermediate. For every PGB
+    /// mechanism this equals the ε requested from `measure`.
+    fn epsilon_spent(&self) -> f64;
+
+    /// Approximate heap footprint of the cached intermediate in bytes,
+    /// for future cache accounting. Excludes the `size_of::<Self>()`
+    /// inline part; counts owned buffers.
+    fn heap_bytes(&self) -> usize;
+
+    /// Constructs one synthetic graph from the intermediate. Pure
+    /// post-processing: consumes randomness from `rng` but no privacy
+    /// budget, and never fails on an intermediate `measure` returned.
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph;
+}
+
 /// A differentially private synthetic-graph generation algorithm.
 ///
-/// Implementations follow the paper's common framework (Fig. 1):
-/// *representation* of the input graph, *perturbation* under the given ε
-/// (Edge CDP), and *construction* of a synthetic graph. The trait is
-/// object-safe so the benchmark can hold a heterogeneous suite.
+/// Implementations follow the paper's common framework (Fig. 1) as two
+/// explicit phases: [`GraphGenerator::measure`] performs *representation*
+/// and *perturbation* under the given ε (Edge CDP) and is the only place
+/// budget is spent; the returned [`PrivateSynthesis`] performs
+/// *construction*, ε-free. [`GraphGenerator::generate`] is a provided
+/// one-shot convenience (measure, then one sample) whose output — RNG
+/// draw order included — is identical to the pre-split pipeline. The
+/// trait is object-safe so the benchmark can hold a heterogeneous suite.
 pub trait GraphGenerator: Send + Sync {
     /// Short display name, matching the paper's tables.
     fn name(&self) -> &'static str;
@@ -58,14 +90,33 @@ pub trait GraphGenerator: Send + Sync {
         0.0
     }
 
-    /// Generates a synthetic graph from `graph` under `epsilon`-Edge CDP
-    /// (or (`epsilon`, [`GraphGenerator::delta`])-Edge CDP).
+    /// Measures `graph` under `epsilon`-Edge CDP (or (`epsilon`,
+    /// [`GraphGenerator::delta`])-Edge CDP), returning the private
+    /// intermediate that [`PrivateSynthesis::sample`] constructs synthetic
+    /// graphs from. All privacy budget is spent here.
+    fn measure(
+        &self,
+        graph: &Graph,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError>;
+
+    /// Generates one synthetic graph: `measure` followed by a single
+    /// `sample` on the same RNG.
     fn generate(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError>;
+    ) -> Result<Graph, GenerateError> {
+        Ok(self.measure(graph, epsilon, rng)?.sample(rng))
+    }
+}
+
+/// Bytes owned by a `Vec`'s heap buffer (capacity, not length — that is
+/// what the allocator is actually holding).
+pub(crate) fn vec_heap_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
 }
 
 /// Validates the privacy budget common to all mechanisms.

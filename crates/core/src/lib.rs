@@ -51,14 +51,14 @@ pub mod tmf;
 /// `pgb_core::par::…` / `crate::par::…` path working unchanged.
 pub use pgb_par as par;
 
-pub use der::Der;
-pub use dgg::Dgg;
-pub use dpdk::{DkVariant, DpDk};
-pub use generator::{GenerateError, GraphGenerator};
-pub use privgraph::PrivGraph;
-pub use privhrg::PrivHrg;
-pub use privskg::PrivSkg;
-pub use tmf::TmF;
+pub use der::{Der, DerSynthesis};
+pub use dgg::{Dgg, DggSynthesis};
+pub use dpdk::{DkSynthesis, DkVariant, DpDk};
+pub use generator::{GenerateError, GraphGenerator, PrivateSynthesis};
+pub use privgraph::{PrivGraph, PrivGraphSynthesis};
+pub use privhrg::{HrgSynthesis, PrivHrg};
+pub use privskg::{PrivSkg, SkgSynthesis};
+pub use tmf::{TmF, TmfSynthesis};
 
 /// The standard PGB algorithm suite: the six mechanisms of Table V, boxed
 /// and ready for the benchmark runner.
@@ -76,10 +76,10 @@ pub fn standard_suite() -> Vec<Box<dyn GraphGenerator>> {
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::benchmark::{
-        BenchmarkConfig, BenchmarkResults, ErrorMetric, ExperimentOutcome, Scheduler,
+        BenchmarkConfig, BenchmarkResults, ErrorMetric, ExperimentOutcome, MeasureReuse, Scheduler,
     };
     pub use crate::{
         standard_suite, Der, Dgg, DkVariant, DpDk, GenerateError, GraphGenerator, PrivGraph,
-        PrivHrg, PrivSkg, TmF,
+        PrivHrg, PrivSkg, PrivateSynthesis, TmF,
     };
 }

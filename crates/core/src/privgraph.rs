@@ -20,12 +20,21 @@
 //! so the two affected selections compose to ε₂); it changes the
 //! degree-sequence/inter-count release by at most L1 = 2 (phase 2:
 //! sensitivity 2). Total: ε₁ + ε₂ + ε₃ = ε.
+//!
+//! The measure/sample cut falls exactly on the paper's phase boundary:
+//! `measure` runs phases 1 and 2 (partition + noisy block statistics) and
+//! `sample` runs phase 3 (Chung–Lu wiring + uniform inter placement),
+//! which reads only the noisy statistics — PrivGraph is the suite's
+//! clearest example of the measure-then-realise split.
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{
+    check_epsilon, vec_heap_bytes, GenerateError, GraphGenerator, PrivateSynthesis,
+};
 use crate::par;
 use pgb_community::{louvain_weighted, LouvainParams, Partition, WeightedGraph};
 use pgb_dp::exponential::exponential_mechanism_sparse;
 use pgb_dp::laplace::sample_laplace;
+use pgb_dp::BudgetAccountant;
 use pgb_graph::{Graph, GraphBuilder, NodeId};
 use pgb_models::chung_lu;
 use rand::{Rng, RngCore};
@@ -52,33 +61,125 @@ impl Default for PrivGraph {
     }
 }
 
+/// PrivGraph's private intermediate: the community partition plus the
+/// noisy block statistics — per-community noisy intra-degree vectors and
+/// capped noisy inter-community edge counts. Phase-3 reconstruction reads
+/// only these, so re-sampling is ε-free.
+#[derive(Clone, Debug)]
+pub struct PrivGraphSynthesis {
+    n: usize,
+    /// Member lists of each community (the partition).
+    communities: Vec<Vec<NodeId>>,
+    /// Noisy intra-community degree of each member, parallel to
+    /// `communities` (empty for communities too small to wire).
+    noisy_degrees: Vec<Vec<f64>>,
+    /// Surviving noisy inter-community counts `(a, c, count)`, already
+    /// clamped to each pair's cell capacity.
+    inter: Vec<(u32, u32, usize)>,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for PrivGraphSynthesis {
+    fn name(&self) -> &'static str {
+        "PrivGraph"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let members: usize = self.communities.iter().map(vec_heap_bytes).sum();
+        let degrees: usize = self.noisy_degrees.iter().map(vec_heap_bytes).sum();
+        vec_heap_bytes(&self.communities)
+            + members
+            + vec_heap_bytes(&self.noisy_degrees)
+            + degrees
+            + vec_heap_bytes(&self.inter)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        if self.n < 2 {
+            return Graph::new(self.n);
+        }
+        let communities = &self.communities;
+        let noisy_degrees = &self.noisy_degrees;
+        // ---- Phase 3: reconstruction ----
+        // Intra: Chung–Lu per community on the stored noisy degrees.
+        // Communities are independent wiring problems, so each is a work
+        // item on its own derived stream; one item per chunk lets the
+        // worker cursor balance the very uneven community sizes.
+        let intra_pairs: Vec<(NodeId, NodeId)> =
+            par::par_collect(communities.len(), 1, rng, |range, rng, out| {
+                for ci in range {
+                    let members = &communities[ci];
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let local = chung_lu(&noisy_degrees[ci], rng);
+                    for (a, c) in local.edges() {
+                        out.push((members[a as usize], members[c as usize]));
+                    }
+                }
+            });
+        // Inter: each surviving noisy count is placed uniformly between
+        // its community pair; entries are independent and uneven, so one
+        // item per chunk again.
+        let inter = &self.inter;
+        let inter_pairs: Vec<(NodeId, NodeId)> =
+            par::par_collect(inter.len(), 1, rng, |range, rng, out| {
+                for &(a, c, count) in &inter[range] {
+                    let (ma, mc) = (&communities[a as usize], &communities[c as usize]);
+                    for _ in 0..count {
+                        let u = ma[rng.gen_range(0..ma.len())];
+                        let v = mc[rng.gen_range(0..mc.len())];
+                        out.push((u, v));
+                    }
+                }
+            });
+        let mut b = GraphBuilder::with_capacity(self.n, intra_pairs.len() + inter_pairs.len());
+        b.extend(intra_pairs);
+        b.extend(inter_pairs);
+        b.build_parallel(par::current_parallelism()).expect("ids bounded by n")
+    }
+}
+
 impl GraphGenerator for PrivGraph {
     fn name(&self) -> &'static str {
         "PrivGraph"
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
         let n = graph.node_count();
         if n < 2 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(PrivGraphSynthesis {
+                n,
+                communities: Vec::new(),
+                noisy_degrees: Vec::new(),
+                inter: Vec::new(),
+                epsilon,
+            }));
         }
-        let mut budget = pgb_dp::Budget::new(epsilon)?;
+        let mut acc = BudgetAccountant::new(epsilon)?;
         let refine = self.refine_rounds > 0;
-        let weights = if refine {
-            self.budget_weights.to_vec()
-        } else {
-            vec![self.budget_weights[0], self.budget_weights[1] + self.budget_weights[2]]
-        };
-        let shares = budget.split(&weights)?;
         let (eps1, eps2, eps3) = if refine {
+            let shares = acc.split(&[
+                ("community initialisation", self.budget_weights[0]),
+                ("exponential-mechanism refinement", self.budget_weights[1]),
+                ("information extraction", self.budget_weights[2]),
+            ])?;
             (shares[0], Some(shares[1]), shares[2])
         } else {
+            let shares = acc.split(&[
+                ("community initialisation", self.budget_weights[0]),
+                ("information extraction", self.budget_weights[1] + self.budget_weights[2]),
+            ])?;
             (shares[0], None, shares[1])
         };
 
@@ -225,35 +326,35 @@ impl GraphGenerator for PrivGraph {
             }
         }
 
-        // ---- Phase 3: reconstruction ----
-        // Intra: Chung–Lu per community on the noisy degrees. Communities
-        // are independent (noise draws and wiring), so each is a work item
-        // on its own derived stream; one item per chunk lets the worker
-        // cursor balance the very uneven community sizes.
-        let intra_pairs: Vec<(NodeId, NodeId)> =
+        // Noise pass over the extracted statistics — the tail of phase 2.
+        // Intra: Laplace on every member's intra degree, one community per
+        // work item on its own derived stream (communities are independent
+        // noise problems just as they are independent wiring problems).
+        let noisy_degrees: Vec<Vec<f64>> =
             par::par_collect(communities.len(), 1, rng, |range, rng, out| {
                 for ci in range {
                     let members = &communities[ci];
                     if members.len() < 2 {
+                        out.push(Vec::new());
                         continue;
                     }
-                    let noisy: Vec<f64> = members
-                        .iter()
-                        .map(|&u| {
-                            (intra_degree[u as usize] + sample_laplace(noise_scale, rng)).max(0.0)
-                        })
-                        .collect();
-                    let local = chung_lu(&noisy, rng);
-                    for (a, c) in local.edges() {
-                        out.push((members[a as usize], members[c as usize]));
-                    }
+                    out.push(
+                        members
+                            .iter()
+                            .map(|&u| {
+                                (intra_degree[u as usize] + sample_laplace(noise_scale, rng))
+                                    .max(0.0)
+                            })
+                            .collect(),
+                    );
                 }
             });
-        // Inter: noisy counts placed uniformly between community pairs
-        // (all pairs perturbed, including empty ones). The k²/2 pairs are
-        // independent; chunk over rows of the pair triangle.
+        // Inter: Laplace on every community pair (including empty ones —
+        // required for DP). The k²/2 pairs are independent; chunk over
+        // rows of the pair triangle. Only surviving counts are stored,
+        // clamped to the pair's cell capacity.
         const INTER_ROW_CHUNK: usize = 16;
-        let inter_pairs: Vec<(NodeId, NodeId)> =
+        let inter: Vec<(u32, u32, usize)> =
             par::par_collect(k, INTER_ROW_CHUNK, rng, |rows, rng, out| {
                 for a in rows {
                     for c in (a + 1)..k {
@@ -263,21 +364,18 @@ impl GraphGenerator for PrivGraph {
                         if w <= 0.0 {
                             continue;
                         }
-                        let (ma, mc) = (&communities[a], &communities[c]);
-                        let cap = (ma.len() * mc.len()) as f64;
-                        let count = w.min(cap) as usize;
-                        for _ in 0..count {
-                            let u = ma[rng.gen_range(0..ma.len())];
-                            let v = mc[rng.gen_range(0..mc.len())];
-                            out.push((u, v));
-                        }
+                        let cap = (communities[a].len() * communities[c].len()) as f64;
+                        out.push((a as u32, c as u32, w.min(cap) as usize));
                     }
                 }
             });
-        let mut b = GraphBuilder::with_capacity(n, intra_pairs.len() + inter_pairs.len());
-        b.extend(intra_pairs);
-        b.extend(inter_pairs);
-        Ok(b.build_parallel(par::current_parallelism()).expect("ids bounded by n"))
+        Ok(Box::new(PrivGraphSynthesis {
+            n,
+            communities,
+            noisy_degrees,
+            inter,
+            epsilon: acc.total(),
+        }))
     }
 }
 

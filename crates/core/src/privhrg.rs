@@ -9,8 +9,11 @@
 //! one `E_r` by 1, so the vector's L1 sensitivity is 1). Construction:
 //! edges are drawn from the noisy connection probabilities.
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{
+    check_epsilon, vec_heap_bytes, GenerateError, GraphGenerator, PrivateSynthesis,
+};
 use pgb_dp::laplace::sample_laplace;
+use pgb_dp::BudgetAccountant;
 use pgb_graph::Graph;
 use pgb_models::hrg::Dendrogram;
 use rand::RngCore;
@@ -34,25 +37,58 @@ impl Default for PrivHrg {
     }
 }
 
+/// PrivHRG's private intermediate: the MCMC-sampled dendrogram together
+/// with its Laplace-noised connection probabilities. Edge realisation
+/// reads only these, so re-sampling is ε-free.
+#[derive(Clone, Debug)]
+pub struct HrgSynthesis {
+    n: usize,
+    dendrogram: Option<Dendrogram>,
+    probs: Vec<f64>,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for HrgSynthesis {
+    fn name(&self) -> &'static str {
+        "PrivHRG"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.dendrogram.as_ref().map_or(0, |d| d.heap_bytes()) + vec_heap_bytes(&self.probs)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        match &self.dendrogram {
+            Some(d) => d.sample_graph_with(&self.probs, rng),
+            None => Graph::new(self.n),
+        }
+    }
+}
+
 impl GraphGenerator for PrivHrg {
     fn name(&self) -> &'static str {
         "PrivHRG"
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
         let n = graph.node_count();
         if n < 2 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(HrgSynthesis { n, dendrogram: None, probs: Vec::new(), epsilon }));
         }
-        let mut budget = pgb_dp::Budget::new(epsilon)?;
-        let eps1 = budget.spend(epsilon * self.structure_budget_fraction.clamp(0.05, 0.95))?;
-        let eps2 = budget.spend_remaining();
+        let mut acc = BudgetAccountant::new(epsilon)?;
+        let eps1 = acc
+            .spend("dendrogram MCMC", epsilon * self.structure_budget_fraction.clamp(0.05, 0.95))?;
+        let eps2 = acc.spend_remaining("connection probabilities");
 
         // Δ logL under edge neighbouring: one edge toggle moves one E_r by
         // 1; the per-node likelihood term changes by at most ln(L·R) ≤
@@ -75,7 +111,7 @@ impl GraphGenerator for PrivHrg {
                 noisy / pairs
             })
             .collect();
-        Ok(dendrogram.sample_graph_with(&probs, rng))
+        Ok(Box::new(HrgSynthesis { n, dendrogram: Some(dendrogram), probs, epsilon: acc.total() }))
     }
 }
 

@@ -10,12 +10,13 @@
 //! targets are pre-scaled by the matching subsampling factors, so the
 //! subsample's expected moments hit the noisy targets).
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{check_epsilon, GenerateError, GraphGenerator, PrivateSynthesis};
 use crate::par;
 use pgb_dp::laplace::sample_laplace;
 use pgb_dp::sensitivity::{
     smooth_sensitivity, triangle_local_sensitivity_at, wedge_local_sensitivity_at, SmoothParams,
 };
+use pgb_dp::BudgetAccountant;
 use pgb_graph::{Graph, NodeId};
 use pgb_models::{Initiator, KroneckerModel};
 use pgb_queries::counting::{triangle_count, wedge_count};
@@ -106,6 +107,65 @@ fn fit_initiator(k: u32, targets: &MomentTargets, grid_steps: usize) -> Initiato
     current
 }
 
+/// PrivSKG's private intermediate: the moment-matched Kronecker initiator
+/// (fitted against the noisy edge/wedge/triangle targets). Ball-drop
+/// sampling and the induced subsample read only the model, so re-sampling
+/// is ε-free.
+#[derive(Clone, Copy, Debug)]
+pub struct SkgSynthesis {
+    n: usize,
+    model: Option<KroneckerModel>,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for SkgSynthesis {
+    fn name(&self) -> &'static str {
+        "PrivSKG"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0 // the initiator is a few inline floats; nothing heap-allocated
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        let model = match self.model {
+            Some(m) => m,
+            None => return Graph::new(self.n),
+        };
+        let n = self.n;
+        // Kronecker region edge sampling: ball drops are i.i.d., so the
+        // drop total splits into fixed chunks with independent derived
+        // streams — same distribution as one serial pass, byte-identical
+        // at any thread count.
+        let drops = model.sample_drop_count(rng);
+        let pairs: Vec<(u32, u32)> =
+            par::par_collect(drops as usize, par::DEFAULT_CHUNK, rng, |range, rng, out| {
+                model.sample_drops(range.len() as u64, rng, out);
+            });
+        let mut builder = pgb_graph::GraphBuilder::with_capacity(model.node_count(), pairs.len());
+        builder.extend(pairs);
+        let big = builder.build_parallel(par::current_parallelism()).expect("ids bounded by 2^k");
+
+        // Uniform induced subsample down to n nodes.
+        if big.node_count() == n {
+            return big;
+        }
+        let mut ids: Vec<NodeId> = (0..big.node_count() as u32).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        ids.truncate(n);
+        ids.sort_unstable();
+        let (sub, _) = big.induced_subgraph(&ids);
+        sub
+    }
+}
+
 impl GraphGenerator for PrivSkg {
     fn name(&self) -> &'static str {
         "PrivSKG"
@@ -115,19 +175,20 @@ impl GraphGenerator for PrivSkg {
         self.delta
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
         let n = graph.node_count();
         if n < 2 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(SkgSynthesis { n, model: None, epsilon }));
         }
-        let mut budget = pgb_dp::Budget::new(epsilon)?;
-        let shares = budget.split(&[1.0, 1.0, 1.0])?;
+        let mut acc = BudgetAccountant::new(epsilon)?;
+        let shares =
+            acc.split(&[("edge count", 1.0), ("wedge count", 1.0), ("triangle count", 1.0)])?;
         let (eps_m, eps_w, eps_t) = (shares[0], shares[1], shares[2]);
         let d_max = graph.max_degree();
 
@@ -156,32 +217,7 @@ impl GraphGenerator for PrivSkg {
         };
         let initiator = fit_initiator(k, &targets, self.grid_steps);
         let model = KroneckerModel { initiator, k };
-        // Kronecker region edge sampling: ball drops are i.i.d., so the
-        // drop total splits into fixed chunks with independent derived
-        // streams — same distribution as one serial pass, byte-identical
-        // at any thread count.
-        let drops = model.sample_drop_count(rng);
-        let pairs: Vec<(u32, u32)> =
-            par::par_collect(drops as usize, par::DEFAULT_CHUNK, rng, |range, rng, out| {
-                model.sample_drops(range.len() as u64, rng, out);
-            });
-        let mut builder = pgb_graph::GraphBuilder::with_capacity(model.node_count(), pairs.len());
-        builder.extend(pairs);
-        let big = builder.build_parallel(par::current_parallelism()).expect("ids bounded by 2^k");
-
-        // Uniform induced subsample down to n nodes.
-        if big.node_count() == n {
-            return Ok(big);
-        }
-        let mut ids: Vec<NodeId> = (0..big.node_count() as u32).collect();
-        for i in 0..n {
-            let j = rng.gen_range(i..ids.len());
-            ids.swap(i, j);
-        }
-        ids.truncate(n);
-        ids.sort_unstable();
-        let (sub, _) = big.induced_subgraph(&ids);
-        Ok(sub)
+        Ok(Box::new(SkgSynthesis { n, model: Some(model), epsilon: acc.total() }))
     }
 }
 

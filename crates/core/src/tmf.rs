@@ -11,9 +11,12 @@
 //! subsample of the true edges. This implementation realises exactly that
 //! distribution in `O(m + m̃)`.
 
-use crate::generator::{check_epsilon, GenerateError, GraphGenerator};
+use crate::generator::{
+    check_epsilon, vec_heap_bytes, GenerateError, GraphGenerator, PrivateSynthesis,
+};
 use crate::par;
 use pgb_dp::laplace::sample_laplace;
+use pgb_dp::BudgetAccountant;
 use pgb_graph::{Graph, GraphBuilder};
 use pgb_models::sampling::sample_binomial;
 use rand::{Rng, RngCore};
@@ -66,25 +69,100 @@ impl TmF {
     }
 }
 
+/// TmF's private intermediate: the perturbed edge set — surviving true
+/// edges and flipped-in false positives — plus the noisy cap m̃. Sampling
+/// only applies the top-m̃ trim and builds the CSR, so it is ε-free.
+#[derive(Clone, Debug)]
+pub struct TmfSynthesis {
+    n: usize,
+    m_tilde: u64,
+    kept_true: Vec<(u32, u32)>,
+    false_pos: Vec<(u32, u32)>,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for TmfSynthesis {
+    fn name(&self) -> &'static str {
+        "TmF"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        vec_heap_bytes(&self.kept_true) + vec_heap_bytes(&self.false_pos)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        if self.n < 2 || self.m_tilde == 0 {
+            return Graph::new(self.n);
+        }
+        let mut kept_true = self.kept_true.clone();
+        let mut false_pos = self.false_pos.clone();
+        // The filter passes ≈ m̃ cells in expectation; enforce the top-m̃
+        // cap by trimming false positives first (their noisy values are
+        // stochastically smaller), then true survivors. Each trimmed list
+        // must stay a *uniform* subset — the lists are in chunk order, so a
+        // plain prefix would bias survivors toward low node ids; a partial
+        // Fisher–Yates on a derived stream keeps the subset uniform and the
+        // trim decision (and the caller's RNG position) thread-invariant.
+        let m_tilde = self.m_tilde as usize;
+        let (keep_true, keep_false) = if kept_true.len() + false_pos.len() > m_tilde {
+            let t = kept_true.len().min(m_tilde);
+            (t, m_tilde - t)
+        } else {
+            (kept_true.len(), false_pos.len())
+        };
+        if keep_true < kept_true.len() || keep_false < false_pos.len() {
+            let mut trim_rng = par::derive_stream(rng.next_u64(), 0);
+            for (list, keep) in [(&mut kept_true, keep_true), (&mut false_pos, keep_false)] {
+                if keep >= list.len() {
+                    continue; // this list survives whole; only the other is cut
+                }
+                for i in 0..keep {
+                    let j = trim_rng.gen_range(i..list.len());
+                    list.swap(i, j);
+                }
+                list.truncate(keep);
+            }
+        }
+        let mut b = GraphBuilder::with_capacity(self.n, keep_true + keep_false);
+        b.extend(kept_true);
+        b.extend(false_pos);
+        b.build_parallel(par::current_parallelism()).expect("ids bounded by n")
+    }
+}
+
+impl TmfSynthesis {
+    /// The degenerate intermediate for graphs the filter cannot act on
+    /// (n < 2, or a noisy edge count of zero): samples to an empty graph
+    /// without drawing from the RNG.
+    fn empty(n: usize, epsilon: f64) -> Self {
+        TmfSynthesis { n, m_tilde: 0, kept_true: Vec::new(), false_pos: Vec::new(), epsilon }
+    }
+}
+
 impl GraphGenerator for TmF {
     fn name(&self) -> &'static str {
         "TmF"
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         check_epsilon(epsilon)?;
         let n = graph.node_count();
         if n < 2 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(TmfSynthesis::empty(n, epsilon)));
         }
-        let mut budget = pgb_dp::Budget::new(epsilon)?;
-        let eps1 = budget.spend(epsilon * self.cell_budget_fraction.clamp(0.05, 0.95))?;
-        let eps2 = budget.spend_remaining();
+        let mut acc = BudgetAccountant::new(epsilon)?;
+        let eps1 =
+            acc.spend("adjacency cells", epsilon * self.cell_budget_fraction.clamp(0.05, 0.95))?;
+        let eps2 = acc.spend_remaining("edge count");
 
         let m = graph.edge_count();
         let cells = n as u64 * (n as u64 - 1) / 2;
@@ -94,7 +172,7 @@ impl GraphGenerator for TmF {
         let m_tilde =
             (m as f64 + sample_laplace(1.0 / eps2, rng)).round().clamp(0.0, cells as f64) as u64;
         if m_tilde == 0 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(TmfSynthesis::empty(n, acc.total())));
         }
 
         let theta = Self::solve_threshold(m as f64, zeros as f64, m_tilde as f64, eps1);
@@ -108,7 +186,7 @@ impl GraphGenerator for TmF {
         // embarrassingly parallel over fixed edge-list chunks, each on its
         // own derived stream, so the output is thread-count-invariant.
         let edges = graph.edge_vec();
-        let mut kept_true: Vec<(u32, u32)> =
+        let kept_true: Vec<(u32, u32)> =
             par::par_collect(edges.len(), par::DEFAULT_CHUNK, rng, |range, rng, out| {
                 for &(u, v) in &edges[range] {
                     if rng.gen_bool(p1) {
@@ -124,7 +202,7 @@ impl GraphGenerator for TmF {
         // and rejection-samples that many distinct non-edge cells within its
         // rows. Disjoint row ranges keep cells distinct across chunks.
         const ROW_CHUNK: usize = 1024;
-        let mut false_pos: Vec<(u32, u32)> =
+        let false_pos: Vec<(u32, u32)> =
             par::par_collect(n.saturating_sub(1), ROW_CHUNK, rng, |rows, rng, out| {
                 // Per-row upper-triangle cell counts, prefix-summed so a
                 // uniform cell index maps back to (row, column).
@@ -161,36 +239,7 @@ impl GraphGenerator for TmF {
                 }
             });
 
-        // The filter passes ≈ m̃ cells in expectation; enforce the top-m̃
-        // cap by trimming false positives first (their noisy values are
-        // stochastically smaller), then true survivors. Each trimmed list
-        // must stay a *uniform* subset — the lists are in chunk order, so a
-        // plain prefix would bias survivors toward low node ids; a partial
-        // Fisher–Yates on a derived stream keeps the subset uniform and the
-        // trim decision (and the caller's RNG position) thread-invariant.
-        let (keep_true, keep_false) = if kept_true.len() + false_pos.len() > m_tilde as usize {
-            let t = kept_true.len().min(m_tilde as usize);
-            (t, m_tilde as usize - t)
-        } else {
-            (kept_true.len(), false_pos.len())
-        };
-        if keep_true < kept_true.len() || keep_false < false_pos.len() {
-            let mut trim_rng = par::derive_stream(rng.next_u64(), 0);
-            for (list, keep) in [(&mut kept_true, keep_true), (&mut false_pos, keep_false)] {
-                if keep >= list.len() {
-                    continue; // this list survives whole; only the other is cut
-                }
-                for i in 0..keep {
-                    let j = trim_rng.gen_range(i..list.len());
-                    list.swap(i, j);
-                }
-                list.truncate(keep);
-            }
-        }
-        let mut b = GraphBuilder::with_capacity(n, keep_true + keep_false);
-        b.extend(kept_true);
-        b.extend(false_pos);
-        Ok(b.build_parallel(par::current_parallelism()).expect("ids bounded by n"))
+        Ok(Box::new(TmfSynthesis { n, m_tilde, kept_true, false_pos, epsilon: acc.total() }))
     }
 }
 

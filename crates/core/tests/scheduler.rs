@@ -13,15 +13,18 @@
 //!   (`available + Σ outstanding pooled ≡ budget`), released threads are
 //!   re-grantable, and the ledger drains back to exactly `budget`.
 
-use pgb_core::benchmark::{algorithm_cost_weight, run_benchmark, BenchmarkConfig, Scheduler};
+use pgb_core::benchmark::{
+    algorithm_cost_weight, run_benchmark, BenchmarkConfig, MeasureReuse, Scheduler,
+};
 use pgb_core::generator::GenerateError;
 use pgb_core::par::{available_parallelism, BudgetLedger, Grant};
-use pgb_core::{GraphGenerator, TmF};
+use pgb_core::{GraphGenerator, PrivateSynthesis, TmF};
 use pgb_graph::Graph;
 use pgb_queries::Query;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 #[test]
@@ -56,12 +59,53 @@ fn csv_byte_identical_across_schedulers_on_tail_heavy_grid() {
     }
 }
 
-/// A generator that records every `generate` call as `(name, n, ε)` into a
+/// A generator that records every `measure` call as `(name, n, ε)` into a
 /// shared log — with one worker (threads = 1), the call order *is* the
-/// elastic scheduler's claim order.
+/// elastic scheduler's claim order — and counts measure/sample calls so
+/// the [`MeasureReuse`] contract is observable from the outside.
 struct Recording {
     label: &'static str,
     log: Arc<Mutex<Vec<(String, usize, f64)>>>,
+    measures: Arc<AtomicUsize>,
+    samples: Arc<AtomicUsize>,
+}
+
+impl Recording {
+    fn new(label: &'static str, log: Arc<Mutex<Vec<(String, usize, f64)>>>) -> Recording {
+        Recording {
+            label,
+            log,
+            measures: Arc::new(AtomicUsize::new(0)),
+            samples: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+/// The identity intermediate of [`Recording`]: sampling hands back the
+/// measured graph and bumps the shared sample counter.
+struct RecordingSynthesis {
+    graph: Graph,
+    epsilon: f64,
+    samples: Arc<AtomicUsize>,
+}
+
+impl PrivateSynthesis for RecordingSynthesis {
+    fn name(&self) -> &'static str {
+        "recorded graph"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> Graph {
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        self.graph.clone()
+    }
 }
 
 impl GraphGenerator for Recording {
@@ -69,14 +113,19 @@ impl GraphGenerator for Recording {
         self.label
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         _rng: &mut dyn rand::RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         self.log.lock().unwrap().push((self.label.to_string(), graph.node_count(), epsilon));
-        Ok(graph.clone())
+        self.measures.fetch_add(1, Ordering::Relaxed);
+        Ok(Box::new(RecordingSynthesis {
+            graph: graph.clone(),
+            epsilon,
+            samples: Arc::clone(&self.samples),
+        }))
     }
 }
 
@@ -90,8 +139,8 @@ fn elastic_claims_expensive_cells_first_without_changing_output() {
     assert!(algorithm_cost_weight("DER") > algorithm_cost_weight("TmF"));
     let log = Arc::new(Mutex::new(Vec::new()));
     let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
-        Box::new(Recording { label: "TmF", log: Arc::clone(&log) }),
-        Box::new(Recording { label: "DER", log: Arc::clone(&log) }),
+        Box::new(Recording::new("TmF", Arc::clone(&log))),
+        Box::new(Recording::new("DER", Arc::clone(&log))),
     ];
     let mut rng = StdRng::seed_from_u64(21);
     let datasets = vec![
@@ -127,12 +176,53 @@ fn elastic_claims_expensive_cells_first_without_changing_output() {
     assert_eq!((row0.dataset.as_str(), row0.algorithm.as_str()), ("small", "TmF"), "grid order");
 }
 
+#[test]
+fn per_cell_reuse_measures_once_per_cell_under_both_schedulers() {
+    // The ISSUE's amortisation contract, observed through call counts:
+    // under `--reuse rep` every repetition pays a measurement; under
+    // `--reuse cell` the measurement runs once per (dataset, algorithm, ε)
+    // cell and repetitions only re-sample — at every thread budget, under
+    // both schedulers (the elastic path shares the intermediate across
+    // repetition blocks through a per-cell `OnceLock`).
+    let mut rng = StdRng::seed_from_u64(33);
+    let datasets = vec![("er".to_string(), pgb_models::erdos_renyi_gnp(40, 0.15, &mut rng))];
+    let reps = 3;
+    let cells = 2; // 1 dataset × 1 algorithm × 2 ε
+    for sched in [Scheduler::Static, Scheduler::Elastic] {
+        for threads in [1, 4] {
+            for (reuse, expect_measures) in
+                [(MeasureReuse::PerRep, cells * reps), (MeasureReuse::PerCell, cells)]
+            {
+                let rec = Recording::new("Rec", Arc::new(Mutex::new(Vec::new())));
+                let (measures, samples) = (Arc::clone(&rec.measures), Arc::clone(&rec.samples));
+                let algorithms: Vec<Box<dyn GraphGenerator>> = vec![Box::new(rec)];
+                let config = BenchmarkConfig {
+                    epsilons: vec![0.5, 2.0],
+                    repetitions: reps,
+                    queries: vec![Query::EdgeCount],
+                    seed: 9,
+                    threads,
+                    sched,
+                    reuse,
+                    ..Default::default()
+                };
+                let results = run_benchmark(&algorithms, &datasets, &config);
+                assert!(results.outcomes.iter().all(|o| o.runs == reps));
+                let ctx = format!("{sched:?} threads={threads} {reuse:?}");
+                assert_eq!(measures.load(Ordering::Relaxed), expect_measures, "{ctx}");
+                assert_eq!(samples.load(Ordering::Relaxed), cells * reps, "{ctx}");
+            }
+        }
+    }
+}
+
 proptest! {
-    /// Arbitrary interleavings of claims (while under the worker cap) and
-    /// releases (of arbitrary outstanding grants) — after *every* step the
-    /// oversubscription bound and the pooled-accounting identity hold, and
-    /// the ledger drains to exactly `budget` once the queue and all grants
-    /// are gone.
+    /// Arbitrary interleavings of claims (while under the worker cap),
+    /// releases (of arbitrary outstanding grants), and mid-task
+    /// *re-grants* of arbitrary outstanding grants — after *every* step
+    /// the oversubscription bound and the pooled-accounting identity
+    /// hold, grants only ever grow, and the ledger drains to exactly
+    /// `budget` once the queue and all grants are gone.
     #[test]
     fn ledger_invariants_under_arbitrary_interleavings(
         budget in 1usize..9,
@@ -144,17 +234,29 @@ proptest! {
         let mut outstanding: Vec<Grant> = Vec::new();
         let mut claimed = 0usize;
         for op in ops {
-            if op % 2 == 0 && outstanding.len() < ledger.workers() {
-                if let Some((t, g)) = ledger.claim() {
-                    prop_assert_eq!(t, claimed, "tasks hand out in order");
-                    claimed += 1;
-                    prop_assert!(g.threads() >= 1, "a grant is never empty");
-                    prop_assert!(g.pooled() <= g.threads());
-                    outstanding.push(g);
+            match op % 3 {
+                0 if outstanding.len() < ledger.workers() => {
+                    if let Some((t, g)) = ledger.claim() {
+                        prop_assert_eq!(t, claimed, "tasks hand out in order");
+                        claimed += 1;
+                        prop_assert!(g.threads() >= 1, "a grant is never empty");
+                        prop_assert!(g.pooled() <= g.threads());
+                        outstanding.push(g);
+                    }
                 }
-            } else if !outstanding.is_empty() {
-                let victim = (op / 2) % outstanding.len();
-                ledger.release(outstanding.swap_remove(victim));
+                2 if !outstanding.is_empty() => {
+                    let victim = (op / 3) % outstanding.len();
+                    let g = &mut outstanding[victim];
+                    let before = g.threads();
+                    ledger.regrant(g);
+                    prop_assert!(g.threads() >= before, "regrant must be grow-only");
+                    prop_assert!(g.pooled() <= g.threads());
+                }
+                _ if !outstanding.is_empty() => {
+                    let victim = (op / 3) % outstanding.len();
+                    ledger.release(outstanding.swap_remove(victim));
+                }
+                _ => {}
             }
             let granted: usize = outstanding.iter().map(Grant::threads).sum();
             // The bound is `budget + workers − 1`, written `<` to keep

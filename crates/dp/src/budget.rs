@@ -182,6 +182,90 @@ impl Budget {
     }
 }
 
+/// A labelled ε ledger for a mechanism's *measure* phase.
+///
+/// Where [`Budget`] only enforces sequential composition arithmetically,
+/// the accountant additionally records **what** each share was spent on —
+/// one `(label, ε)` entry per perturbation step — so a private intermediate
+/// can report its exact spend (`PrivateSynthesis::epsilon_spent` in
+/// `pgb-core`) and future serving layers can audit per-tenant consumption.
+/// Mechanisms register their splits against it instead of doing ad-hoc
+/// `epsilon * fraction` arithmetic inline.
+///
+/// ```
+/// use pgb_dp::budget::BudgetAccountant;
+///
+/// let mut acc = BudgetAccountant::new(1.0).unwrap();
+/// let eps_cells = acc.spend("cells", 0.9).unwrap();
+/// let eps_count = acc.spend_remaining("edge count");
+/// assert!((eps_cells - 0.9).abs() < 1e-12);
+/// assert!((eps_count - 0.1).abs() < 1e-12);
+/// assert!((acc.spent() - 1.0).abs() < 1e-12);
+/// assert_eq!(acc.entries().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BudgetAccountant {
+    budget: Budget,
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl BudgetAccountant {
+    /// An accountant over `total` ε. Fails unless `0 < total < ∞`.
+    pub fn new(total: f64) -> Result<Self, BudgetError> {
+        Ok(BudgetAccountant { budget: Budget::new(total)?, entries: Vec::new() })
+    }
+
+    /// Total ε of the underlying budget.
+    pub fn total(&self) -> f64 {
+        self.budget.total()
+    }
+
+    /// ε consumed so far, summed over the registered entries.
+    pub fn spent(&self) -> f64 {
+        self.budget.spent()
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        self.budget.remaining()
+    }
+
+    /// The registered `(label, ε)` entries, in spend order.
+    pub fn entries(&self) -> &[(&'static str, f64)] {
+        &self.entries
+    }
+
+    /// Registers a labelled spend of `epsilon` and returns it, or errors if
+    /// the remainder is insufficient (nothing is recorded on error).
+    pub fn spend(&mut self, label: &'static str, epsilon: f64) -> Result<f64, BudgetError> {
+        let e = self.budget.spend(epsilon)?;
+        self.entries.push((label, e));
+        Ok(e)
+    }
+
+    /// Registers everything left under `label` and returns it. A drained
+    /// accountant records nothing and returns 0.0.
+    pub fn spend_remaining(&mut self, label: &'static str) -> f64 {
+        let e = self.budget.spend_remaining();
+        if e > 0.0 {
+            self.entries.push((label, e));
+        }
+        e
+    }
+
+    /// Splits the remaining budget proportionally to the entries' weights,
+    /// registering one labelled share each; the shares sum to the remainder
+    /// by construction (sequential composition over the phases).
+    pub fn split(&mut self, shares: &[(&'static str, f64)]) -> Result<Vec<f64>, BudgetError> {
+        let weights: Vec<f64> = shares.iter().map(|&(_, w)| w).collect();
+        let eps = self.budget.split(&weights)?;
+        for (&(label, _), &e) in shares.iter().zip(&eps) {
+            self.entries.push((label, e));
+        }
+        Ok(eps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

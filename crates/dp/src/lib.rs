@@ -12,8 +12,9 @@
 //! * [`sensitivity`] — global / local / smooth sensitivity, including the
 //!   smooth-sensitivity-calibrated Laplace noise that gives (ε, δ)-DP
 //!   (used by DP-dK and PrivSKG).
-//! * [`budget`] — ε/δ privacy parameters and sequential-composition budget
-//!   accounting.
+//! * [`budget`] — ε/δ privacy parameters, sequential-composition budget
+//!   accounting, and the labelled [`BudgetAccountant`] that mechanisms'
+//!   measure phases register their splits against.
 //! * [`testing`] — statistical assertion helpers (moment checks with
 //!   standard-error tolerances, Pearson χ²) the mechanism tests verify
 //!   their closed forms with.
@@ -41,7 +42,7 @@ pub mod randomized_response;
 pub mod sensitivity;
 pub mod testing;
 
-pub use budget::{Budget, BudgetError, PrivacyParams};
+pub use budget::{Budget, BudgetAccountant, BudgetError, PrivacyParams};
 pub use exponential::exponential_mechanism;
 pub use geometric::{geometric_mechanism, sample_two_sided_geometric};
 pub use laplace::{laplace_mechanism, sample_laplace};

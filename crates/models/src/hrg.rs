@@ -130,6 +130,22 @@ impl Dendrogram {
         self.n - 1
     }
 
+    /// Approximate heap footprint of the dendrogram's owned buffers in
+    /// bytes (capacity, not length), for cache accounting.
+    pub fn heap_bytes(&self) -> usize {
+        fn vb<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        vb(&self.left)
+            + vb(&self.right)
+            + vb(&self.parent)
+            + vb(&self.leaf_parent)
+            + vb(&self.leaves)
+            + vb(&self.e)
+            + vb(&self.mark)
+            + vb(&self.leaf_mark)
+    }
+
     /// Edge count `E_r` at internal node `r`.
     pub fn edges_at(&self, r: u32) -> u64 {
         self.e[r as usize]

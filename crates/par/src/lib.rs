@@ -56,10 +56,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default indices per chunk for fine-grained index work (per-edge or
 /// per-drop loops): large enough to amortise stream derivation and task
@@ -70,6 +70,9 @@ pub const DEFAULT_CHUNK: usize = 8192;
 thread_local! {
     /// 0 ⇒ unset (fall back to available parallelism).
     static THREAD_BUDGET: Cell<usize> = const { Cell::new(0) };
+    /// The elastic grant scope installed by [`with_elastic_parallelism`],
+    /// if any: the ledger to re-poll and the live grant it grows.
+    static ELASTIC_SLOT: RefCell<Option<(Arc<BudgetLedger>, Grant)>> = const { RefCell::new(None) };
 }
 
 /// The machine's available parallelism (1 if it cannot be queried).
@@ -77,16 +80,24 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
-/// The intra-cell thread budget for the current thread: the innermost
-/// [`with_parallelism`] scope, or the machine's available parallelism when
-/// no scope is active.
+/// The intra-cell thread budget for the current thread, in precedence
+/// order: the innermost [`with_parallelism`] scope if one is active; else
+/// the current [`with_elastic_parallelism`] grant, **re-polled against its
+/// ledger** (grow-only — see [`BudgetLedger::regrant`]) so a parallel
+/// section entered late in a task absorbs threads released since the
+/// claim; else the machine's available parallelism.
 pub fn current_parallelism() -> usize {
     let t = THREAD_BUDGET.with(Cell::get);
-    if t == 0 {
-        available_parallelism()
-    } else {
-        t
+    if t != 0 {
+        return t;
     }
+    let elastic = ELASTIC_SLOT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (ledger, grant) = slot.as_mut()?;
+        ledger.regrant(grant);
+        Some(grant.threads())
+    });
+    elastic.unwrap_or_else(available_parallelism)
 }
 
 /// Runs `f` with the current thread's parallelism budget set to `threads`
@@ -104,6 +115,51 @@ pub fn with_parallelism<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     }
     let _restore = Restore(THREAD_BUDGET.with(|c| c.replace(threads)));
     f()
+}
+
+/// Runs `f` under an elastic grant: parallel sections inside `f` read
+/// their budget from `grant`, and every [`current_parallelism`] call
+/// re-polls `ledger` (grow-only, [`BudgetLedger::regrant`]) so a task that
+/// outlives its siblings absorbs the threads they release mid-task —
+/// instead of keeping the share computed at claim time, which strands the
+/// pool on the tail of the queue.
+///
+/// Returns `f`'s output together with the (possibly grown) grant, which
+/// the caller must still [`release`](BudgetLedger::release). Like the
+/// grants themselves, re-granting is *scheduling only*: the derived-stream
+/// discipline makes `f`'s output identical whether or not it grew.
+///
+/// If `f` panics, the grant is released to the ledger during unwinding so
+/// the pool identity (`available + Σ outstanding pooled ≡ budget`) still
+/// holds. Nested elastic scopes on one thread are not supported (the
+/// inner scope would shadow the outer grant); an explicit
+/// [`with_parallelism`] scope inside `f` takes precedence as usual.
+pub fn with_elastic_parallelism<T>(
+    ledger: Arc<BudgetLedger>,
+    grant: Grant,
+    f: impl FnOnce() -> T,
+) -> (T, Grant) {
+    /// Clears the slot on scope exit; on unwind (slot still occupied) the
+    /// grant goes back to the ledger rather than leaking pooled threads.
+    struct SlotGuard;
+    impl Drop for SlotGuard {
+        fn drop(&mut self) {
+            if let Some((ledger, grant)) = ELASTIC_SLOT.with(|slot| slot.borrow_mut().take()) {
+                ledger.release(grant);
+            }
+        }
+    }
+
+    ELASTIC_SLOT.with(|slot| {
+        let prev = slot.borrow_mut().replace((ledger, grant));
+        assert!(prev.is_none(), "nested with_elastic_parallelism scopes are not supported");
+    });
+    let _guard = SlotGuard;
+    let out = f();
+    let (_, grant) = ELASTIC_SLOT
+        .with(|slot| slot.borrow_mut().take())
+        .expect("elastic slot cleared inside the scope");
+    (out, grant)
 }
 
 /// An elastic thread-budget ledger shared by the workers of a task pool.
@@ -128,6 +184,11 @@ pub fn with_parallelism<T>(threads: usize, f: impl FnOnce() -> T) -> T {
 /// * [`release`](BudgetLedger::release) returns the pooled part of a grant,
 ///   so `available + Σ outstanding pooled ≡ budget` at all times and the
 ///   ledger drains back to exactly `budget` once every grant is released.
+/// * [`regrant`](BudgetLedger::regrant) grows a *held* grant from the live
+///   pool mid-task (grow-only). [`with_elastic_parallelism`] re-polls it on
+///   every [`current_parallelism`] read, so the last running tasks absorb
+///   threads released after their claim instead of finishing on the share
+///   computed when the pool was crowded.
 ///
 /// Grants are *scheduling only*: callers run their task under
 /// [`with_parallelism`]`(grant.threads(), …)`, and the derived-stream
@@ -233,6 +294,46 @@ impl BudgetLedger {
         debug_assert!(pooled <= s.available);
         s.available -= pooled;
         Some((task, Grant { threads: pooled.max(1), pooled }))
+    }
+
+    /// Grows `grant` from the pool, if the pool has anything to give —
+    /// the mid-task half of the elastic scheduler. The holder's share is
+    /// recomputed against the live state with the holder counted as one
+    /// claimant alongside the still-unclaimed tasks
+    /// (`claimants = min(remaining + 1, workers)`), so a worker on the
+    /// queue's tail absorbs the whole pool while a worker mid-queue takes
+    /// only its fair slice. **Grow-only**: a grant never shrinks — threads
+    /// already promised to a running parallel section stay granted — so
+    /// repeated re-polls are monotone and the pool identity
+    /// `available + Σ outstanding pooled ≡ budget` is preserved.
+    pub fn regrant(&self, grant: &mut Grant) {
+        let mut s = self.inner.lock().expect("ledger lock poisoned");
+        if s.available == 0 {
+            return;
+        }
+        let remaining = self.tasks - s.next;
+        let claimants = (remaining + 1).min(self.workers).max(1);
+        // Fair share of the threads in play *for this holder* — the pool
+        // plus what it already holds, divided over the holder and the
+        // claims that can still arrive. Top up to the share; a grant
+        // already at or above it keeps what it has (never shrinks). With
+        // the queue drained (`claimants == 1`) the share is the whole
+        // pool, so the last running tasks absorb everything released.
+        let target = (s.available + grant.threads).div_ceil(claimants);
+        let extra = target.saturating_sub(grant.threads).min(s.available);
+        if extra == 0 {
+            if grant.pooled == 0 && grant.threads == 1 {
+                // The minimum oversubscribed grant converts to a pooled
+                // thread as soon as one is free, ending its transient
+                // oversubscription without changing its budget.
+                s.available -= 1;
+                grant.pooled = 1;
+            }
+            return;
+        }
+        s.available -= extra;
+        grant.threads += extra;
+        grant.pooled += extra;
     }
 
     /// Returns a grant's pooled threads, making them grantable to the next

@@ -1,6 +1,10 @@
 //! Extending the benchmark with a *new* mechanism — the workflow PGB's
-//! platform exists for: implement [`GraphGenerator`], drop the mechanism
-//! into the suite, and get comparable numbers against the built-ins.
+//! platform exists for: implement [`GraphGenerator::measure`] (the
+//! ε-consuming representation + perturbation phase, returning a
+//! [`PrivateSynthesis`] intermediate) and [`PrivateSynthesis::sample`]
+//! (the ε-free construction phase), drop the mechanism into the suite,
+//! and get comparable numbers against the built-ins — `generate` comes
+//! for free as `measure` + one `sample`.
 //!
 //! The custom mechanism here is edge-flip randomized response, the
 //! textbook Edge-DP baseline. The benchmark output makes the paper's
@@ -27,23 +31,54 @@ use rand::RngCore;
 /// runs on benchmark-sized graphs.
 struct RandomizedResponseGen;
 
+/// RR's private intermediate *is* the flipped graph: unlike the compact
+/// mechanisms (degree sequences, dendrograms, initiator matrices) its
+/// construction phase has no randomness left to re-draw, so `measure`
+/// performs the whole flip and `sample` clones the DP-protected result.
+/// Re-sampling under `--reuse cell` therefore returns identical graphs —
+/// still valid post-processing, just a degenerate sampler.
+struct RrSynthesis {
+    output: Graph,
+    epsilon: f64,
+}
+
+impl PrivateSynthesis for RrSynthesis {
+    fn name(&self) -> &'static str {
+        "randomized-response adjacency"
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // CSR estimate: n + 1 offsets plus both directions of every edge.
+        (self.output.node_count() + 1) * std::mem::size_of::<usize>()
+            + 2 * self.output.edge_count() * std::mem::size_of::<u32>()
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> Graph {
+        self.output.clone()
+    }
+}
+
 impl GraphGenerator for RandomizedResponseGen {
     fn name(&self) -> &'static str {
         "EdgeRR"
     }
 
-    fn generate(
+    fn measure(
         &self,
         graph: &Graph,
         epsilon: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<Graph, GenerateError> {
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
         if !(epsilon > 0.0 && epsilon.is_finite()) {
             return Err(GenerateError::InvalidEpsilon(epsilon));
         }
         let n = graph.node_count();
         if n < 2 {
-            return Ok(Graph::new(n));
+            return Ok(Box::new(RrSynthesis { output: Graph::new(n), epsilon }));
         }
         let flip = rr_flip_probability(epsilon);
         let m = graph.edge_count() as u64;
@@ -67,7 +102,7 @@ impl GraphGenerator for RandomizedResponseGen {
                 placed += 1;
             }
         }
-        Ok(b.build().expect("ids in range"))
+        Ok(Box::new(RrSynthesis { output: b.build().expect("ids in range"), epsilon }))
     }
 }
 
