@@ -16,12 +16,14 @@ fn main() {
     let datasets = load_datasets(args.seed);
     let algorithms = suite();
     println!("Table X — peak heap per generation (MB), ε = 1\n");
-    let mut headers = vec!["Graph".to_string()];
+    let mut headers = vec!["Graph".to_string(), "CSR".to_string()];
     headers.extend(algorithms.iter().map(|a| a.name().to_string()));
     let mut table = TextTable::new(headers);
     for (name, graph) in &datasets {
         eprintln!("measuring on {name} ({} nodes)...", graph.node_count());
-        let mut row = vec![name.clone()];
+        // Resident footprint of the dataset's CSR arrays themselves — the
+        // floor any generation's peak sits on top of.
+        let mut row = vec![name.clone(), pgb_bench::alloc_counter::format_mb(graph.heap_bytes())];
         for algo in &algorithms {
             let (_, peak) = CountingAllocator::measure(|| {
                 let mut rng = StdRng::seed_from_u64(args.seed);

@@ -20,11 +20,12 @@ fn main() {
     let config = benchmark_config(&args, max_nodes);
     let algorithms = suite();
     eprintln!(
-        "running {} algorithms x {} datasets x {} budgets x {} reps ...",
+        "running {} algorithms x {} datasets x {} budgets x {} reps ({} evaluation) ...",
         algorithms.len(),
         datasets.len(),
         config.epsilons.len(),
-        config.repetitions
+        config.repetitions,
+        config.query_params.eval.name()
     );
     let start = std::time::Instant::now();
     let results = run_benchmark(&algorithms, &datasets, &config);

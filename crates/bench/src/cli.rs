@@ -1,6 +1,7 @@
 //! Minimal argument parsing shared by the harness binaries.
 
 use pgb_core::benchmark::{MeasureReuse, Scheduler};
+use pgb_queries::EvalMode;
 
 /// Experiment scale presets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,12 @@ pub struct HarnessArgs {
     /// re-samples it each repetition — the numbers change by design, but
     /// stay deterministic in threads and scheduler.
     pub reuse: MeasureReuse,
+    /// Suite evaluation mode (`--eval exact|approx`; exact default).
+    /// Approx replaces the BFS sweep, the triangle pass, and the degree
+    /// histogram with the sketches in `pgb_queries::approx` — the numbers
+    /// change by design (each estimate carries a stated error bound), but
+    /// stay deterministic in threads and scheduler.
+    pub eval: EvalMode,
 }
 
 impl Default for HarnessArgs {
@@ -57,13 +64,15 @@ impl Default for HarnessArgs {
             threads: 0,
             sched: Scheduler::default(),
             reuse: MeasureReuse::default(),
+            eval: EvalMode::default(),
         }
     }
 }
 
 impl HarnessArgs {
     /// Parses `--scale`, `--reps`, `--seed`, `--threads`, `--sched`,
-    /// `--reuse` from an iterator of arguments (unknown arguments error).
+    /// `--reuse`, `--eval` from an iterator of arguments (unknown
+    /// arguments error).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
@@ -103,6 +112,10 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --reuse: {e}"))?;
                 }
+                "--eval" => {
+                    out.eval =
+                        value_of("--eval")?.parse().map_err(|e| format!("invalid --eval: {e}"))?;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -117,7 +130,7 @@ impl HarnessArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--scale small|medium|paper] [--reps N] [--seed N] [--threads N] \
-                     [--sched static|elastic] [--reuse rep|cell]"
+                     [--sched static|elastic] [--reuse rep|cell] [--eval exact|approx]"
                 );
                 std::process::exit(2);
             }
@@ -179,6 +192,18 @@ mod tests {
         assert_eq!(parse(&["--reuse", "cell"]).unwrap().reuse, MeasureReuse::PerCell);
         assert!(parse(&["--reuse", "always"]).is_err());
         assert!(parse(&["--reuse"]).is_err());
+    }
+
+    #[test]
+    fn eval_parses_both_modes() {
+        assert_eq!(parse(&[]).unwrap().eval, EvalMode::Exact);
+        assert_eq!(parse(&["--eval", "exact"]).unwrap().eval, EvalMode::Exact);
+        assert_eq!(
+            parse(&["--eval", "approx"]).unwrap().eval,
+            EvalMode::Approx(pgb_queries::ApproxConfig::default())
+        );
+        assert!(parse(&["--eval", "sketchy"]).is_err());
+        assert!(parse(&["--eval"]).is_err());
     }
 
     #[test]

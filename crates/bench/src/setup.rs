@@ -38,12 +38,13 @@ pub fn query_params_for(n: usize) -> QueryParams {
 /// A benchmark configuration following the paper's protocol (ε grid
 /// {0.1, 0.5, 1, 2, 5, 10}, all 15 queries), scaled by the harness
 /// arguments. `max_nodes` is the largest dataset in play, deciding the
-/// BFS mode.
+/// BFS mode; `--eval approx` swaps the suite's shared intermediates for
+/// their sketch-backed estimators.
 pub fn benchmark_config(args: &HarnessArgs, max_nodes: usize) -> BenchmarkConfig {
     BenchmarkConfig {
         epsilons: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
         repetitions: args.repetitions(),
-        query_params: query_params_for(max_nodes),
+        query_params: QueryParams { eval: args.eval, ..query_params_for(max_nodes) },
         seed: args.seed,
         threads: args.threads,
         sched: args.sched,
@@ -94,6 +95,23 @@ mod tests {
         use pgb_core::benchmark::Scheduler;
         let args = HarnessArgs { sched: Scheduler::Static, ..Default::default() };
         assert_eq!(benchmark_config(&args, 100).sched, Scheduler::Static);
+    }
+
+    #[test]
+    fn config_propagates_eval_mode() {
+        use pgb_queries::{ApproxConfig, EvalMode};
+        let args =
+            HarnessArgs { eval: EvalMode::Approx(ApproxConfig::default()), ..Default::default() };
+        assert_eq!(
+            benchmark_config(&args, 100).query_params.eval,
+            EvalMode::Approx(ApproxConfig::default())
+        );
+        assert_eq!(
+            benchmark_config(&HarnessArgs::default(), 100).query_params.eval,
+            EvalMode::Exact
+        );
+        // The eval axis must not disturb the BFS-mode decision.
+        assert_eq!(benchmark_config(&args, 100).query_params.path_mode, PathMode::Exact);
     }
 
     #[test]

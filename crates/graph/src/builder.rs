@@ -73,6 +73,30 @@ impl GraphBuilder {
     pub fn build_parallel(self, threads: usize) -> Result<Graph> {
         Graph::from_edge_vec(self.n, self.edges, threads)
     }
+
+    /// Streaming construction: counting-sorts an edge stream directly into
+    /// the CSR arrays without ever materialising the unsorted edge list.
+    ///
+    /// `emit` is invoked exactly twice and must produce the *identical*
+    /// edge sequence on both calls (the first pass counts endpoint
+    /// occurrences, the second fills the neighbour segments); generators
+    /// replay by cloning their RNG before the first pass. A divergent
+    /// second pass panics. Self-loops and duplicate edges are dropped, as
+    /// in [`GraphBuilder::build`], and the final graph is byte-identical to
+    /// the one `build` would produce from the same stream.
+    ///
+    /// Peak heap is one `2m`-entry neighbour array plus an `n`-entry count
+    /// array — roughly half of the accumulate-then-sort path, which holds
+    /// the pushed edge list and the CSR arrays simultaneously. Edge counts
+    /// that would overflow the `u32` offset array are reported as
+    /// [`crate::GraphError::TooManyEdges`] before the big allocation, so
+    /// generators that know their edge count can probe cheaply.
+    pub fn build_streaming<F>(n: usize, emit: F) -> Result<Graph>
+    where
+        F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        Graph::from_edge_stream(n, emit)
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +125,30 @@ mod tests {
         let g = GraphBuilder::new(5).build().unwrap();
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn build_streaming_matches_build() {
+        let edges = [(0u32, 1u32), (1, 0), (1, 2), (2, 3), (2, 3), (3, 3), (0, 3)];
+        let mut b = GraphBuilder::new(4);
+        b.extend(edges);
+        let built = b.build().unwrap();
+        let streamed = GraphBuilder::build_streaming(4, |sink| {
+            for &(u, v) in &edges {
+                sink(u, v);
+            }
+        })
+        .unwrap();
+        assert_eq!(streamed.csr(), built.csr());
+        assert_eq!(streamed.edge_count(), 4);
+        assert!(streamed.check_invariants());
+    }
+
+    #[test]
+    fn build_streaming_empty_stream() {
+        let g = GraphBuilder::build_streaming(3, |_sink| {}).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.check_invariants());
     }
 }

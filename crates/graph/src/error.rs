@@ -12,6 +12,13 @@ pub enum GraphError {
         /// The number of nodes in the graph.
         n: usize,
     },
+    /// The deduplicated edge count would overflow the `u32` CSR offset
+    /// array (`2m` must fit in `u32`): the graph cannot be represented in
+    /// this layout. Carries the offending edge count.
+    TooManyEdges {
+        /// The edge count that does not fit (`2 * edges > u32::MAX`).
+        edges: usize,
+    },
     /// An edge-list line could not be parsed.
     Parse {
         /// 1-based line number of the malformed line.
@@ -28,6 +35,14 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
                 write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::TooManyEdges { edges } => {
+                write!(
+                    f,
+                    "edge count {edges} overflows the u32 CSR offset array \
+                     (at most {} edges fit)",
+                    u32::MAX / 2
+                )
             }
             GraphError::Parse { line, content } => {
                 write!(f, "malformed edge-list line {line}: {content:?}")
@@ -60,6 +75,14 @@ mod tests {
     fn display_node_out_of_range() {
         let e = GraphError::NodeOutOfRange { node: 7, n: 5 };
         assert_eq!(e.to_string(), "node id 7 out of range for graph with 5 nodes");
+    }
+
+    #[test]
+    fn display_too_many_edges() {
+        let e = GraphError::TooManyEdges { edges: 0x8000_0000 };
+        let s = e.to_string();
+        assert!(s.contains("2147483648"), "{s}");
+        assert!(s.contains("2147483647"), "{s}");
     }
 
     #[test]

@@ -70,7 +70,21 @@ impl Graph {
         }
         pairs.sort_unstable();
         pairs.dedup();
-        Ok(Self::from_sorted_unique_pairs(n, &pairs))
+        Self::from_sorted_unique_pairs(n, &pairs)
+    }
+
+    /// Checks that `m` edges fit the `u32` CSR offset array (`2m` entries
+    /// must be indexable by `u32`). Factored out so the boundary is unit
+    /// testable without allocating a multi-gigabyte edge list.
+    pub(crate) fn csr_capacity_check(m: usize) -> Result<()> {
+        // `m <= u32::MAX / 2` ⇔ `2m <= u32::MAX` (2m is even), phrased
+        // without the doubled multiplication so the check itself cannot
+        // overflow `usize`.
+        if m > (u32::MAX / 2) as usize {
+            Err(GraphError::TooManyEdges { edges: m })
+        } else {
+            Ok(())
+        }
     }
 
     /// Builds a graph from an owned edge vector with the sort/dedup work
@@ -181,7 +195,105 @@ impl Graph {
                 push(&mut merged, pair);
             }
         }
-        Ok(Self::from_sorted_unique_pairs(n, &merged))
+        Self::from_sorted_unique_pairs(n, &merged)
+    }
+
+    /// Constructs the CSR arrays directly from a replayable edge stream,
+    /// never materialising the unsorted edge list. See
+    /// [`crate::GraphBuilder::build_streaming`] for the public entry point
+    /// and the replay contract.
+    pub(crate) fn from_edge_stream<F>(n: usize, mut emit: F) -> Result<Self>
+    where
+        F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        // Pass 1: count each endpoint's occurrences (self-loops dropped,
+        // duplicates still counted — they are removed after the per-segment
+        // sort below). The running total is checked against the CSR offset
+        // capacity *before* degree counters can saturate: while the total
+        // stays within `u32::MAX / 2` pushed edges, no endpoint count can
+        // exceed `u32::MAX`.
+        let mut counts = vec![0u32; n];
+        let mut total: u64 = 0;
+        let mut err: Option<GraphError> = None;
+        emit(&mut |u, v| {
+            if err.is_some() {
+                return;
+            }
+            if u as usize >= n {
+                err = Some(GraphError::NodeOutOfRange { node: u, n });
+                return;
+            }
+            if v as usize >= n {
+                err = Some(GraphError::NodeOutOfRange { node: v, n });
+                return;
+            }
+            if u == v {
+                return;
+            }
+            total += 1;
+            if total > (u32::MAX / 2) as u64 {
+                err = Some(GraphError::TooManyEdges { edges: total as usize });
+                return;
+            }
+            counts[u as usize] += 1;
+            counts[v as usize] += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+
+        // Offsets over the *pre-dedup* counts; the fill below lands every
+        // endpoint, and the compaction pass re-derives the final offsets.
+        let mut offsets = vec![0u32; n + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + c;
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; 2 * total as usize];
+
+        // Pass 2: replay the stream into the segments. The replay contract
+        // (identical sequence both calls) is enforced by re-counting.
+        let mut seen: u64 = 0;
+        emit(&mut |u, v| {
+            if u == v || u as usize >= n || v as usize >= n {
+                return;
+            }
+            seen += 1;
+            if seen > total {
+                return; // diverged; caught by the assert below
+            }
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        });
+        assert_eq!(
+            seen, total,
+            "build_streaming edge source must emit the identical sequence on both passes"
+        );
+
+        // Pass 3: sort each segment, drop duplicates, and compact the
+        // neighbour array in place — the result is exactly the CSR that
+        // `from_edges` produces for the same stream.
+        let mut write = 0usize;
+        let mut final_offsets = vec![0u32; n + 1];
+        for u in 0..n {
+            let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+            neighbors[start..end].sort_unstable();
+            let seg_write = write;
+            for i in start..end {
+                let v = neighbors[i];
+                if write == seg_write || neighbors[write - 1] != v {
+                    neighbors[write] = v;
+                    write += 1;
+                }
+            }
+            final_offsets[u + 1] = write as u32;
+        }
+        neighbors.truncate(write);
+        neighbors.shrink_to_fit();
+        debug_assert_eq!(write % 2, 0);
+        Ok(Graph { offsets: final_offsets, neighbors, m: write / 2 })
     }
 
     /// The shared CSR construction tail: counting sort into the flat
@@ -190,9 +302,9 @@ impl Graph {
     /// without a per-segment sort: for node w, every back-edge write (from
     /// a pair `(u, w)`, `u < w`) happens before every forward write (from a
     /// pair `(w, v)`, `v > w`), and both write subsequences are increasing.
-    fn from_sorted_unique_pairs(n: usize, pairs: &[(NodeId, NodeId)]) -> Self {
+    fn from_sorted_unique_pairs(n: usize, pairs: &[(NodeId, NodeId)]) -> Result<Self> {
         let m = pairs.len();
-        assert!(2 * m <= u32::MAX as usize, "graph too large for u32 CSR offsets");
+        Self::csr_capacity_check(m)?;
         let mut offsets = vec![0u32; n + 1];
         for &(u, v) in pairs {
             offsets[u as usize + 1] += 1;
@@ -209,7 +321,7 @@ impl Graph {
             neighbors[cursor[v as usize] as usize] = u;
             cursor[v as usize] += 1;
         }
-        Graph { offsets, neighbors, m }
+        Ok(Graph { offsets, neighbors, m })
     }
 
     /// Number of nodes.
@@ -222,6 +334,13 @@ impl Graph {
     #[inline]
     pub fn edge_count(&self) -> usize {
         self.m
+    }
+
+    /// Heap footprint of the CSR arrays in bytes (allocated capacity, not
+    /// just occupied length), so the benchmark runner can report the peak
+    /// graph memory per cell.
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.neighbors.capacity()) * std::mem::size_of::<u32>()
     }
 
     /// Degree of node `u`.
@@ -530,6 +649,73 @@ mod tests {
         let g = Graph::from_edge_vec(4, vec![(0, 1), (1, 0), (2, 2), (2, 3)], 8).unwrap();
         assert_eq!(g.edge_count(), 2);
         assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn csr_capacity_boundary() {
+        // `2m` must fit in u32: m = 0x7FFF_FFFF is the last representable
+        // edge count, m = 0x8000_0000 the first rejected one. Exercised on
+        // the check itself — building a 2^31-edge list needs ~16 GiB.
+        assert!(Graph::csr_capacity_check(0x7FFF_FFFF).is_ok());
+        let err = Graph::csr_capacity_check(0x8000_0000).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyEdges { edges: 0x8000_0000 }), "{err:?}");
+    }
+
+    #[test]
+    fn heap_bytes_counts_both_csr_arrays() {
+        let g = triangle_plus_pendant();
+        // offsets: 5 entries, neighbors: 8 entries, 4 bytes each; capacity
+        // may exceed length, so this is a lower bound.
+        assert!(g.heap_bytes() >= (5 + 8) * 4, "{}", g.heap_bytes());
+        assert_eq!(Graph::new(0).heap_bytes() % 4, 0);
+    }
+
+    #[test]
+    fn from_edge_stream_matches_from_edges() {
+        // Same deterministic edge soup as the from_edge_vec test: the
+        // streaming path must land on byte-identical CSR arrays.
+        let n = 500u32;
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut edges = Vec::with_capacity(40_000);
+        for _ in 0..40_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            edges.push(((x % n as u64) as u32, ((x >> 32) % n as u64) as u32));
+        }
+        let serial = Graph::from_edges(n as usize, edges.clone()).unwrap();
+        let streamed = Graph::from_edge_stream(n as usize, |sink| {
+            for &(u, v) in &edges {
+                sink(u, v);
+            }
+        })
+        .unwrap();
+        assert_eq!(streamed.csr(), serial.csr());
+        assert!(streamed.check_invariants());
+    }
+
+    #[test]
+    fn from_edge_stream_rejects_out_of_range() {
+        let err = Graph::from_edge_stream(3, |sink| {
+            sink(0, 1);
+            sink(2, 7);
+            sink(1, 2);
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, n: 3 }), "{err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical sequence on both passes")]
+    fn from_edge_stream_detects_divergent_replay() {
+        let mut calls = 0;
+        let _ = Graph::from_edge_stream(3, |sink| {
+            calls += 1;
+            sink(0, 1);
+            if calls == 1 {
+                sink(1, 2); // present in pass 1 only
+            }
+        });
     }
 
     #[test]

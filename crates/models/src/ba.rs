@@ -17,6 +17,36 @@ use rand::Rng;
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     assert!(m >= 1 && m < n, "need 1 <= m < n, got m={m}, n={n}");
     let mut b = GraphBuilder::with_capacity(n, (n - m) * m);
+    ba_stream(n, m, rng, &mut |u, v| b.push(u, v));
+    b.build().expect("ids bounded by n")
+}
+
+/// Grows the same graph as [`barabasi_albert`] through the streaming CSR
+/// build path: the attachment process runs twice from a cloned RNG state
+/// (the BA stream is a deterministic function of the RNG), so the builder
+/// never materialises the unsorted edge list. The caller's RNG advances by
+/// exactly one generation's worth of draws, and the resulting graph is
+/// byte-identical to `barabasi_albert` at the same RNG state.
+///
+/// # Panics
+/// Panics unless `1 ≤ m < n`.
+pub fn barabasi_albert_streaming<R: Rng + Clone>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n, got m={m}, n={n}");
+    let mut replay = rng.clone();
+    let mut pass = 0;
+    GraphBuilder::build_streaming(n, |sink| {
+        pass += 1;
+        if pass == 1 {
+            ba_stream(n, m, &mut replay, sink);
+        } else {
+            ba_stream(n, m, rng, sink);
+        }
+    })
+    .expect("ids bounded by n")
+}
+
+/// The shared attachment loop, emitting each edge through `sink`.
+fn ba_stream<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R, sink: &mut dyn FnMut(u32, u32)) {
     // One entry per edge endpoint: sampling uniformly from this list is
     // degree-proportional sampling.
     let mut repeated: Vec<u32> = Vec::with_capacity(2 * (n - m) * m);
@@ -25,7 +55,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
     let mut targets: Vec<u32> = (0..m as u32).collect();
     for source in m as u32..n as u32 {
         for &t in &targets {
-            b.push(source, t);
+            sink(source, t);
             repeated.push(source);
             repeated.push(t);
         }
@@ -40,7 +70,6 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
             }
         }
     }
-    b.build().expect("ids bounded by n")
 }
 
 #[cfg(test)]
@@ -79,6 +108,17 @@ mod tests {
         let g = barabasi_albert(3_000, 2, &mut rng);
         // A BA hub should far exceed the mean degree of ~4.
         assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn streaming_matches_accumulating_build() {
+        let mut rng_a = StdRng::seed_from_u64(76);
+        let mut rng_b = rng_a.clone();
+        let a = barabasi_albert(800, 4, &mut rng_a);
+        let b = barabasi_albert_streaming(800, 4, &mut rng_b);
+        assert_eq!(a.csr(), b.csr());
+        // Both paths consume the same number of RNG draws.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod lattice;
 pub mod sampling;
 pub mod watts_strogatz;
 
-pub use ba::barabasi_albert;
+pub use ba::{barabasi_albert, barabasi_albert_streaming};
 pub use bter::{bter, BterParams, CcdSpec};
 pub use chung_lu::chung_lu;
 pub use config_model::configuration_model;

@@ -1,0 +1,893 @@
+//! Sketch-backed estimators for [`crate::EvalMode::Approx`]: the three
+//! super-linear shared intermediates of the suite replaced by sublinear or
+//! near-linear sketches, each with a stated concentration bound.
+//!
+//! * **HyperANF** ([`hll_path_stats`]): per-node HyperLogLog counters,
+//!   swept once per distance level — `B(u, t+1)` is the union of the
+//!   neighbours' `B(·, t)`, and HLL union is a register-wise `max`, an
+//!   exact-integer merge that satisfies `pgb_par::par_fold_chunks`'
+//!   merge-algebra contract. Feeds Q7 (diameter, a lower bound exactly
+//!   like sampled BFS), Q8 (average path length), and Q9 (distance
+//!   distribution) in `O((n + m) · 2^p · diameter)` time and
+//!   `O(n · 2^p)` memory, independent of the `O(n·m)` BFS sweep.
+//! * **Wedge sampling** ([`triangle_sketch`]): a fixed number of uniform
+//!   forward-wedge samples over the shared
+//!   [`crate::counting::ForwardOrientation`] estimates the triangle count
+//!   (each triangle closes exactly one forward wedge, at its minimum-rank
+//!   corner), and uniform node-wedge samples estimate the average local
+//!   clustering. Both are means of Bernoulli indicators, so the reported
+//!   bounds are Hoeffding: `ε = sqrt(ln(2/δ) / 2k)` at confidence
+//!   `1 − δ`. Feeds Q3, Q10, Q11 in `O(n + m + k log d)` time.
+//! * **Sampled degree histogram** ([`sampled_degree_histogram`]): a
+//!   fixed-size uniform sample of node degrees. The population size is
+//!   known, so the classic streaming reservoir degenerates to direct
+//!   uniform index sampling — the same estimator without the `O(n)` RNG
+//!   pass. Feeds Q5 and Q6.
+//!
+//! ## Determinism
+//!
+//! Every estimator draws from the RNG handed to it (the suite derives one
+//! stream per sketch — see `suite.rs`) through `pgb_par::par_collect` /
+//! `par_fold_chunks`, so chunk boundaries depend only on input sizes and
+//! all merges are exact-integer or order-preserving appends. Floating
+//! point only ever accumulates *within* a chunk (fixed iteration order)
+//! and across the chunk-sum list in chunk order — results are
+//! byte-identical at any thread budget.
+
+use crate::counting::{self, ForwardOrientation};
+use crate::path::PathStats;
+use crate::ApproxConfig;
+use pgb_graph::{Graph, NodeId};
+use rand::Rng;
+use std::sync::Mutex;
+
+/// Samples per chunk for the sampling passes: each sample is a few RNG
+/// draws plus a binary search, so the default fine-grained chunk fits.
+const SAMPLE_CHUNK: usize = pgb_par::DEFAULT_CHUNK;
+
+/// Nodes per chunk for the register sweep (matches the other linear
+/// node scans in the suite).
+const NODE_CHUNK: usize = 16_384;
+
+/// Normal-quantile factor for a two-sided interval at `confidence` —
+/// coarse thresholds are plenty for a reported error bound.
+fn z_for_confidence(confidence: f64) -> f64 {
+    if confidence >= 0.997 {
+        3.0
+    } else if confidence >= 0.99 {
+        2.576
+    } else if confidence >= 0.95 {
+        1.96
+    } else {
+        1.645
+    }
+}
+
+/// Hoeffding half-width for a mean of `k` indicator samples at the given
+/// confidence: `P(|p̂ − p| ≥ ε) ≤ 2 exp(−2kε²)`.
+fn hoeffding_eps(k: usize, confidence: f64) -> f64 {
+    let delta = (1.0 - confidence).clamp(1e-12, 1.0);
+    ((2.0 / delta).ln() / (2.0 * k as f64)).sqrt()
+}
+
+/// splitmix64 finaliser: the stateless node-id hash behind the HLL
+/// registers (seeded per evaluation, see [`hll_path_stats`]).
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// `2^{-r}` via exponent-field construction (exact for `r ≤ 1022`); the
+/// register loop is the sweep's inner loop, so no `powi` here.
+#[inline]
+fn inv_pow2(r: u8) -> f64 {
+    f64::from_bits((1023u64 - r as u64) << 52)
+}
+
+/// Byte-wise unsigned `max` of two 8-register words — the compiler lowers
+/// the fixed-size byte loop to a single vector `max`, which is what makes
+/// the word-packed sweep cheap per neighbour.
+#[inline]
+fn bytewise_max(x: u64, y: u64) -> u64 {
+    let a = x.to_le_bytes();
+    let b = y.to_le_bytes();
+    let mut o = [0u8; 8];
+    for i in 0..8 {
+        o[i] = a[i].max(b[i]);
+    }
+    u64::from_le_bytes(o)
+}
+
+/// Best-effort cache prefetch of the element at `idx` — purely a latency
+/// hint with no architectural effect, so determinism is untouched. The
+/// sweep's neighbour lookups are random reads over the whole register
+/// array; issuing the load a few neighbours ahead hides most of that
+/// latency.
+#[inline(always)]
+fn prefetch_at<T>(slice: &[T], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < slice.len() {
+        // SAFETY: `idx` is in bounds so the pointer is valid, and prefetch
+        // has no effect beyond the cache.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(idx) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, idx);
+}
+
+/// The standard HLL cardinality estimate from one node's register block
+/// (packed 8 registers per `u64` word, little-endian), with the
+/// small-range (linear-counting) correction. The harmonic sum uses four
+/// fixed partial-sum chains folded in a fixed tree — still one exact
+/// deterministic summation order (the dependency chains just overlap),
+/// so the estimate is identical on every run and thread budget.
+fn hll_estimate(words: &[u64]) -> f64 {
+    let m = (words.len() * 8) as f64;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut zeros = 0u32;
+    for &w in words {
+        let b = w.to_le_bytes();
+        s0 += inv_pow2(b[0]) + inv_pow2(b[1]);
+        s1 += inv_pow2(b[2]) + inv_pow2(b[3]);
+        s2 += inv_pow2(b[4]) + inv_pow2(b[5]);
+        s3 += inv_pow2(b[6]) + inv_pow2(b[7]);
+        for r in b {
+            zeros += u32::from(r == 0);
+        }
+    }
+    let sum = (s0 + s1) + (s2 + s3);
+    let alpha = match words.len() * 8 {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        l => 0.7213 / (1.0 + 1.079 / l as f64),
+    };
+    let e = alpha * m * m / sum;
+    if e <= 2.5 * m && zeros > 0 {
+        m * (m / zeros as f64).ln()
+    } else {
+        e
+    }
+}
+
+/// One node's union step with a register-resident `[u64; W]` accumulator:
+/// the neighbour loop never round-trips the accumulator through memory.
+/// `edges` is the flat CSR neighbour array *starting at this node's first
+/// edge* and running to the end of the graph — the first `deg` entries are
+/// this node's neighbours, and in dense sweeps the prefetcher reads `pf`
+/// entries ahead into it, crossing node boundaries so the lookahead stays
+/// ahead of the unions even on low-degree nodes (prefetch is a pure cache
+/// hint, so warming another chunk's registers is harmless). Appends the
+/// result to `out` and returns `(start, touched)`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn union_node<const W: usize>(
+    out: &mut Vec<u64>,
+    cur: &[u64],
+    base: usize,
+    edges: &[NodeId],
+    deg: usize,
+    dense: bool,
+    changed: &[bool],
+    pf: usize,
+) -> (usize, bool) {
+    let mut dst = [0u64; W];
+    dst.copy_from_slice(&cur[base..base + W]);
+    let mut touched = false;
+    if dense {
+        touched = deg > 0;
+        for i in 0..deg {
+            if let Some(&vp) = edges.get(i + pf) {
+                prefetch_at(cur, vp as usize * W);
+            }
+            let v = edges[i] as usize;
+            let src = &cur[v * W..(v + 1) * W];
+            for j in 0..W {
+                dst[j] = bytewise_max(dst[j], src[j]);
+            }
+        }
+    } else {
+        for i in 0..deg {
+            if let Some(&vp) = edges.get(i + pf) {
+                let vp = vp as usize;
+                if changed[vp] {
+                    prefetch_at(cur, vp * W);
+                }
+            }
+            let v = edges[i] as usize;
+            if !changed[v] {
+                continue;
+            }
+            touched = true;
+            let src = &cur[v * W..(v + 1) * W];
+            for j in 0..W {
+                dst[j] = bytewise_max(dst[j], src[j]);
+            }
+        }
+    }
+    let start = out.len();
+    out.extend_from_slice(&dst);
+    (start, touched)
+}
+
+/// Fallback union step for larger register blocks (p > 6): unions in
+/// place in the output buffer.
+fn union_node_dyn(
+    out: &mut Vec<u64>,
+    cur: &[u64],
+    base: usize,
+    words: usize,
+    nbrs: &[NodeId],
+    dense: bool,
+    changed: &[bool],
+) -> (usize, bool) {
+    let start = out.len();
+    out.extend_from_slice(&cur[base..base + words]);
+    let mut touched = false;
+    for &v in nbrs {
+        let v = v as usize;
+        if !dense && !changed[v] {
+            continue;
+        }
+        touched = true;
+        let src = &cur[v * words..(v + 1) * words];
+        for (a, &b) in out[start..].iter_mut().zip(src) {
+            *a = bytewise_max(*a, b);
+        }
+    }
+    (start, touched)
+}
+
+/// The register sweep's rotating per-iteration state: the register
+/// array, the per-node grew flags, and the cached per-node estimates.
+type SweepBufs = (Vec<u64>, Vec<bool>, Vec<f64>);
+
+/// [`SweepBufs`] plus the per-chunk partial estimate sums — one fold
+/// accumulator of the sweep's `par_fold_chunks`.
+type SweepAcc = (Vec<u64>, Vec<bool>, Vec<f64>, Vec<f64>);
+
+/// Splits a seed-table entry back into `(register index, rho)`.
+#[inline(always)]
+fn unpack_seed(e: u32) -> (usize, u64) {
+    ((e >> 8) as usize, (e & 0xFF) as u64)
+}
+
+/// Union step for the *first* sweep only: at t = 0 every neighbour's
+/// counter holds exactly one nonzero register, so the union is a single
+/// byte `max` against the 4-bytes-per-node seed table — a far smaller
+/// random-access footprint than the register array, and bit-identical to
+/// the generic union by construction.
+#[inline(always)]
+fn union_node_first<const W: usize>(
+    out: &mut Vec<u64>,
+    cur: &[u64],
+    base: usize,
+    edges: &[NodeId],
+    deg: usize,
+    seeds: &[u32],
+    pf: usize,
+) -> (usize, bool) {
+    let mut dst = [0u64; W];
+    dst.copy_from_slice(&cur[base..base + W]);
+    for i in 0..deg {
+        if let Some(&vp) = edges.get(i + pf) {
+            prefetch_at(seeds, vp as usize);
+        }
+        let (idx, rho) = unpack_seed(seeds[edges[i] as usize]);
+        let w = idx / 8;
+        let sh = 8 * (idx % 8);
+        if ((dst[w] >> sh) & 0xFF) < rho {
+            dst[w] = (dst[w] & !(0xFFu64 << sh)) | (rho << sh);
+        }
+    }
+    let start = out.len();
+    out.extend_from_slice(&dst);
+    (start, deg > 0)
+}
+
+/// First-sweep union for larger register blocks (p > 6), in place in the
+/// output buffer.
+fn union_node_first_dyn(
+    out: &mut Vec<u64>,
+    cur: &[u64],
+    base: usize,
+    words: usize,
+    nbrs: &[NodeId],
+    seeds: &[u32],
+) -> (usize, bool) {
+    let start = out.len();
+    out.extend_from_slice(&cur[base..base + words]);
+    for &v in nbrs {
+        let (idx, rho) = unpack_seed(seeds[v as usize]);
+        let w = start + idx / 8;
+        let sh = 8 * (idx % 8);
+        if ((out[w] >> sh) & 0xFF) < rho {
+            out[w] = (out[w] & !(0xFFu64 << sh)) | (rho << sh);
+        }
+    }
+    (start, !nbrs.is_empty())
+}
+
+/// [`hll_path_stats`]' result: the [`PathStats`] estimate plus its
+/// reported error bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HllPathSketch {
+    /// Diameter (a lower bound, like sampled BFS), average path length,
+    /// and distance distribution — same shape as the exact sweep.
+    pub stats: PathStats,
+    /// Relative error bound on every neighbourhood-function value the
+    /// statistics derive from: `z(confidence) · 1.04 / sqrt(2^p)`.
+    pub rel_bound: f64,
+    /// Whether the sweep hit `max_sweep_iters` before the registers
+    /// reached their fixpoint (the statistics then cover distances up to
+    /// the cap only).
+    pub saturated: bool,
+}
+
+/// HyperANF: estimates the Q7–Q9 path statistics with one HLL register
+/// block per node, swept level-by-level until the registers stop changing.
+///
+/// Draws one hash seed from `rng`. Register updates and per-level
+/// neighbourhood-function sums are chunked over nodes; register unions are
+/// byte-wise `max` and the float level sum is assembled from per-chunk
+/// partial sums in chunk order, so the sketch is byte-identical at any
+/// thread budget.
+pub fn hll_path_stats<R: Rng + ?Sized>(
+    g: &Graph,
+    cfg: &ApproxConfig,
+    rng: &mut R,
+) -> HllPathSketch {
+    let n = g.node_count();
+    let p = cfg.hll_precision.clamp(4, 16) as u32;
+    let m_regs = 1usize << p;
+    let rel_bound = z_for_confidence(cfg.confidence) * 1.04 / (m_regs as f64).sqrt();
+    let hash_seed: u64 = rng.gen();
+    if n == 0 {
+        return HllPathSketch {
+            stats: PathStats { diameter: 0, average_length: 0.0, distance_distribution: vec![0.0] },
+            rel_bound,
+            saturated: false,
+        };
+    }
+
+    // t = 0: each node's ball is itself — a single nonzero register. The
+    // seed table keeps that one register as `(idx << 8) | rho` per node
+    // (idx < 2^16 and rho ≤ 61, so a u32 holds any `p ≤ 16`): the first
+    // sweep unions against this 4-bytes-per-node table instead of the full
+    // register array, a much smaller random-access footprint.
+    let seeds: Vec<u32> = pgb_par::par_map_chunks(n, NODE_CHUNK, |range, out| {
+        for u in range {
+            let h = mix64(hash_seed ^ u as u64);
+            let idx = (h & (m_regs as u64 - 1)) as u32;
+            let rho = (h >> p).trailing_zeros().min(64 - p) + 1;
+            out.push((idx << 8) | rho);
+        }
+    });
+    // The same seeds expanded into register blocks, packed 8 registers per
+    // u64 word (`m_regs` is a power of two ≥ 16, so every node owns
+    // exactly `words` full words).
+    let words = m_regs / 8;
+    let mut cur: Vec<u64> = pgb_par::par_map_chunks(n, NODE_CHUNK, |range, out| {
+        for u in range {
+            let (idx, rho) = unpack_seed(seeds[u]);
+            let start = out.len();
+            out.resize(start + words, 0);
+            out[start + idx / 8] = rho << (8 * (idx % 8));
+        }
+    });
+    // Systolic state: which counters grew last sweep (all did, trivially,
+    // at t = 0) and each node's cached cardinality estimate. A neighbour
+    // whose counter did not change contributed everything it has to offer
+    // in an earlier sweep (cur[u] ⊇ cur[v] whenever v stayed fixed), so
+    // unchanged neighbours are skipped and unchanged nodes keep their
+    // cached estimate — the registers and sums come out bit-identical to
+    // the dense sweep, the tail iterations just stop paying for it.
+    let mut changed: Vec<bool> = vec![true; n];
+    let mut est: Vec<f64> = pgb_par::par_map_chunks(n, NODE_CHUNK, |range, out| {
+        for u in range {
+            out.push(hll_estimate(&cur[u * words..(u + 1) * words]));
+        }
+    });
+
+    // N(0) = n exactly (every ball is a singleton); per-level deltas give
+    // the pairs at each distance. HLL noise can make the raw estimates
+    // dip, so the running value is kept monotone and deltas clamped ≥ 0.
+    let mut hist: Vec<f64> = vec![0.0];
+    let mut n_prev = n as f64;
+    let mut saturated = true;
+    let mut num_changed = n;
+    // The buffers rotated out two sweeps ago seed the next sweep's first
+    // accumulator, so the steady-state loop recycles the same three big
+    // allocations instead of faulting in ~`25 · n / 10⁶` MB of fresh
+    // pages per iteration. Purely an allocation concern: the buffers are
+    // cleared on reuse and capacity never affects contents, so whichever
+    // worker wins the take() changes nothing downstream.
+    let spare: Mutex<Option<SweepBufs>> = Mutex::new(None);
+    let take_spare = || -> SweepAcc {
+        match spare.lock().expect("spare-buffer lock").take() {
+            Some((mut regs, mut grew, mut ests)) => {
+                regs.clear();
+                grew.clear();
+                ests.clear();
+                (regs, grew, ests, Vec::new())
+            }
+            None => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+        }
+    };
+    for t in 1..=cfg.max_sweep_iters.max(1) {
+        // When most counters are still growing, checking the changed flag
+        // per neighbour costs more than the unions it saves (an extra
+        // dependent random load in the hot loop) — take a dense sweep with
+        // prefetching instead. The cutover depends only on the global
+        // changed count, so it is thread-independent, and unioning an
+        // unchanged neighbour is a register no-op either way.
+        let dense = num_changed >= n / 2;
+        // The first sweep unions single-register seeds (see the seed
+        // table above); `t` is the same on every thread, so the dispatch
+        // is deterministic.
+        let first = t == 1;
+        const PF: usize = 24;
+        let (next, next_changed, next_est, chunk_sums) = pgb_par::par_fold_chunks(
+            n,
+            NODE_CHUNK,
+            take_spare,
+            |acc, range| {
+                acc.0.reserve(range.len() * words);
+                let mut sum = 0.0;
+                let (offsets, flat) = g.csr();
+                for u in range {
+                    let base = u * words;
+                    let beg = offsets[u] as usize;
+                    let deg = offsets[u + 1] as usize - beg;
+                    let edges = &flat[beg..];
+                    // Register-resident accumulator for the common word
+                    // counts (p = 4/5/6), generic spill path otherwise.
+                    let (start, touched) = match (first, words) {
+                        (true, 2) => {
+                            union_node_first::<2>(&mut acc.0, &cur, base, edges, deg, &seeds, PF)
+                        }
+                        (true, 4) => {
+                            union_node_first::<4>(&mut acc.0, &cur, base, edges, deg, &seeds, PF)
+                        }
+                        (true, 8) => {
+                            union_node_first::<8>(&mut acc.0, &cur, base, edges, deg, &seeds, PF)
+                        }
+                        (true, _) => union_node_first_dyn(
+                            &mut acc.0,
+                            &cur,
+                            base,
+                            words,
+                            &edges[..deg],
+                            &seeds,
+                        ),
+                        (false, 2) => {
+                            union_node::<2>(&mut acc.0, &cur, base, edges, deg, dense, &changed, PF)
+                        }
+                        (false, 4) => {
+                            union_node::<4>(&mut acc.0, &cur, base, edges, deg, dense, &changed, PF)
+                        }
+                        (false, 8) => {
+                            union_node::<8>(&mut acc.0, &cur, base, edges, deg, dense, &changed, PF)
+                        }
+                        (false, _) => union_node_dyn(
+                            &mut acc.0,
+                            &cur,
+                            base,
+                            words,
+                            &edges[..deg],
+                            dense,
+                            &changed,
+                        ),
+                    };
+                    let grew = touched && acc.0[start..] != cur[base..base + words];
+                    let e = if grew { hll_estimate(&acc.0[start..start + words]) } else { est[u] };
+                    acc.1.push(grew);
+                    acc.2.push(e);
+                    sum += e;
+                }
+                acc.3.push(sum);
+            },
+            |acc, mut other| {
+                acc.0.append(&mut other.0);
+                acc.1.append(&mut other.1);
+                acc.2.append(&mut other.2);
+                acc.3.append(&mut other.3);
+            },
+        );
+        num_changed = next_changed.iter().filter(|&&c| c).count();
+        if num_changed == 0 {
+            // Fixpoint: no ball grew in a way the registers can see.
+            saturated = false;
+            break;
+        }
+        // Fixed-order reduction of the chunk partial sums.
+        let nt: f64 = chunk_sums.iter().sum::<f64>().max(n_prev);
+        hist.push(nt - n_prev);
+        n_prev = nt;
+        let old_regs = std::mem::replace(&mut cur, next);
+        let old_grew = std::mem::replace(&mut changed, next_changed);
+        let old_ests = std::mem::replace(&mut est, next_est);
+        *spare.lock().expect("spare-buffer lock") = Some((old_regs, old_grew, old_ests));
+    }
+
+    // Trailing zero-growth levels carry no distance mass; the diameter is
+    // the last level where the estimate actually grew.
+    while hist.len() > 1 && hist[hist.len() - 1] == 0.0 {
+        hist.pop();
+    }
+    let pairs: f64 = hist.iter().sum();
+    let stats = if pairs <= 0.0 {
+        PathStats { diameter: 0, average_length: 0.0, distance_distribution: vec![0.0] }
+    } else {
+        let total: f64 = hist.iter().enumerate().map(|(t, &c)| t as f64 * c).sum();
+        PathStats {
+            diameter: (hist.len() - 1) as u32,
+            average_length: total / pairs,
+            distance_distribution: hist.iter().map(|&c| c / pairs).collect(),
+        }
+    };
+    HllPathSketch { stats, rel_bound, saturated }
+}
+
+/// [`triangle_sketch`]'s result: the three clustering-family estimates
+/// with their Hoeffding bounds (absolute, at the configured confidence).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TriangleSketch {
+    /// Estimated triangle count (Q3).
+    pub triangles: f64,
+    /// Absolute Hoeffding bound on the triangle estimate.
+    pub triangles_bound: f64,
+    /// Estimated global clustering coefficient (Q10).
+    pub gcc: f64,
+    /// Absolute Hoeffding bound on the GCC estimate.
+    pub gcc_bound: f64,
+    /// Estimated average local clustering coefficient (Q11).
+    pub acc: f64,
+    /// Absolute Hoeffding bound on the ACC estimate.
+    pub acc_bound: f64,
+}
+
+/// Wedge-sampled estimates for Q3/Q10/Q11 over the shared degree-ordered
+/// forward orientation.
+///
+/// Two fixed-size sampling passes draw from `rng` (each pass takes one
+/// base draw via `pgb_par::par_collect`; per-chunk hit counts are exact
+/// `u64`s):
+///
+/// * **forward wedges** — a uniform forward wedge `(v, w) ∈ F(u)²` closes
+///   iff `{v, w}` is an edge, and each triangle closes exactly one forward
+///   wedge, so `t̂ = p̂ · W_fwd`. GCC follows as `3 t̂ / W` with the exact
+///   wedge count `W`.
+/// * **node wedges** — for a uniform node `u`, a uniform wedge at `u`
+///   closes with probability `c_u` (local clustering), and nodes with
+///   degree < 2 contribute 0, so the hit fraction estimates the ACC.
+pub fn triangle_sketch<R: Rng>(
+    g: &Graph,
+    fwd: &ForwardOrientation,
+    cfg: &ApproxConfig,
+    rng: &mut R,
+) -> TriangleSketch {
+    let n = g.node_count();
+    let k = cfg.wedge_samples.max(1);
+    let eps = hoeffding_eps(k, cfg.confidence);
+    if n == 0 {
+        return TriangleSketch::default();
+    }
+
+    // Prefix sums of per-node forward wedge counts C(|F(u)|, 2): sampling
+    // an index uniformly in [0, W_fwd) and binary-searching lands on node
+    // u with probability proportional to its forward wedge count.
+    let mut prefix: Vec<u64> = Vec::with_capacity(n + 1);
+    prefix.push(0);
+    for u in 0..n {
+        let f = fwd.forward(u).len() as u64;
+        prefix.push(prefix[u] + f * f.saturating_sub(1) / 2);
+    }
+    let w_fwd = prefix[n];
+
+    let (triangles, triangles_bound) = if w_fwd == 0 {
+        // No forward wedges ⇒ no triangles, exactly.
+        (0.0, 0.0)
+    } else {
+        let chunk_hits: Vec<u64> = pgb_par::par_collect(k, SAMPLE_CHUNK, rng, |range, rng, out| {
+            let mut hits = 0u64;
+            for _ in range {
+                let r = rng.gen_range(0..w_fwd);
+                let u = prefix.partition_point(|&x| x <= r) - 1;
+                let flist = fwd.forward(u);
+                let (a, b) = distinct_pair(flist.len(), rng);
+                if g.has_edge(flist[a], flist[b]) {
+                    hits += 1;
+                }
+            }
+            out.push(hits);
+        });
+        let hits: u64 = chunk_hits.iter().sum();
+        let p_hat = hits as f64 / k as f64;
+        (p_hat * w_fwd as f64, eps * w_fwd as f64)
+    };
+
+    let wedges = counting::wedge_count(g);
+    let (gcc, gcc_bound) = if wedges == 0 {
+        (0.0, 0.0)
+    } else {
+        (3.0 * triangles / wedges as f64, 3.0 * triangles_bound / wedges as f64)
+    };
+
+    // ACC: uniform node, uniform wedge at that node.
+    let chunk_hits: Vec<u64> = pgb_par::par_collect(k, SAMPLE_CHUNK, rng, |range, rng, out| {
+        let mut hits = 0u64;
+        for _ in range {
+            let u = rng.gen_range(0..n as u64) as NodeId;
+            let nbrs = g.neighbors(u);
+            if nbrs.len() < 2 {
+                continue;
+            }
+            let (a, b) = distinct_pair(nbrs.len(), rng);
+            if g.has_edge(nbrs[a], nbrs[b]) {
+                hits += 1;
+            }
+        }
+        out.push(hits);
+    });
+    let hits: u64 = chunk_hits.iter().sum();
+    let acc = hits as f64 / k as f64;
+
+    TriangleSketch { triangles, triangles_bound, gcc, gcc_bound, acc, acc_bound: eps }
+}
+
+/// A uniform unordered pair of distinct indices in `0..len` (requires
+/// `len ≥ 2`), as two draws.
+fn distinct_pair<R: Rng + ?Sized>(len: usize, rng: &mut R) -> (usize, usize) {
+    let a = rng.gen_range(0..len);
+    let b = rng.gen_range(0..len - 1);
+    (a, if b >= a { b + 1 } else { b })
+}
+
+/// [`sampled_degree_histogram`]'s result: histogram counts over `samples`
+/// uniformly sampled nodes — feed the `*_from_histogram` helpers with
+/// `samples` as the population size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampledDegreeHistogram {
+    /// `hist[d]` = number of *sampled* nodes with degree `d`.
+    pub hist: Vec<u64>,
+    /// The sample count the histogram is normalised by (0 for the empty
+    /// graph, mirroring the exact path's empty-distribution shape).
+    pub samples: usize,
+}
+
+/// Uniform degree sample for Q5/Q6: `samples` node draws (with
+/// replacement) from one derived stream, histogrammed. The known
+/// population size makes this the degenerate (single-pass-free) form of a
+/// reservoir sample — same estimator, no `O(n)` stream scan.
+pub fn sampled_degree_histogram<R: Rng>(
+    g: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> SampledDegreeHistogram {
+    let n = g.node_count();
+    if n == 0 {
+        // One rng draw either way, so the suite stream discipline is
+        // shape-independent.
+        let _: u64 = rng.gen();
+        return SampledDegreeHistogram { hist: vec![0], samples: 0 };
+    }
+    let k = samples.max(1);
+    let degrees: Vec<u32> = pgb_par::par_collect(k, SAMPLE_CHUNK, rng, |range, rng, out| {
+        for _ in range {
+            let u = rng.gen_range(0..n as u64) as NodeId;
+            out.push(g.degree(u) as u32);
+        }
+    });
+    let max_d = degrees.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u64; max_d + 1];
+    for d in degrees {
+        hist[d as usize] += 1;
+    }
+    SampledDegreeHistogram { hist, samples: k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{path_stats, PathStats};
+    use crate::PathMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> ApproxConfig {
+        ApproxConfig::default()
+    }
+
+    fn exact_paths(g: &Graph) -> PathStats {
+        path_stats(g, PathMode::Exact, &mut StdRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn inv_pow2_matches_powi() {
+        for r in 0u8..40 {
+            assert_eq!(inv_pow2(r), 2f64.powi(-(r as i32)), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn hll_estimate_tracks_cardinality() {
+        // Distinct hashed items into 64 registers: the estimate should be
+        // within the 3σ band (1.04/√64 ≈ 13% rse) for a mid-size set.
+        let m = 64usize;
+        let mut regs = vec![0u8; m];
+        let count = 5_000u64;
+        for x in 0..count {
+            let h = mix64(0xDEAD_BEEF ^ x);
+            let idx = (h & (m as u64 - 1)) as usize;
+            let rho = ((h >> 6).trailing_zeros().min(58) + 1) as u8;
+            regs[idx] = regs[idx].max(rho);
+        }
+        let words: Vec<u64> =
+            regs.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let e = hll_estimate(&words);
+        let rel = (e - count as f64).abs() / count as f64;
+        assert!(rel < 0.40, "estimate {e} for {count} (rel {rel})");
+    }
+
+    #[test]
+    fn hll_path_stats_on_path_graph() {
+        // Path 0-1-2-3: diameter 3; the registers must reach their
+        // fixpoint after exactly 3 growing sweeps.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sk = hll_path_stats(&g, &cfg(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(sk.stats.diameter, 3);
+        assert!(!sk.saturated);
+        assert!(sk.rel_bound > 0.0);
+        let sum: f64 = sk.stats.distance_distribution.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hll_path_stats_tracks_exact_on_er() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let g = pgb_models::erdos_renyi_gnp(300, 0.03, &mut rng);
+        let ex = exact_paths(&g);
+        let sk = hll_path_stats(&g, &cfg(), &mut StdRng::seed_from_u64(41));
+        assert!(sk.stats.diameter <= ex.diameter);
+        let rel = (sk.stats.average_length - ex.average_length).abs() / ex.average_length;
+        assert!(rel < 2.0 * sk.rel_bound + 0.05, "rel {rel} bound {}", sk.rel_bound);
+    }
+
+    #[test]
+    fn hll_edgeless_and_empty() {
+        for g in [Graph::new(0), Graph::new(5)] {
+            let sk = hll_path_stats(&g, &cfg(), &mut StdRng::seed_from_u64(2));
+            assert_eq!(sk.stats.diameter, 0);
+            assert_eq!(sk.stats.average_length, 0.0);
+            assert_eq!(sk.stats.distance_distribution, vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn hll_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = pgb_models::erdos_renyi_gnp(400, 0.02, &mut rng);
+        let run = |threads| {
+            pgb_par::with_parallelism(threads, || {
+                hll_path_stats(&g, &cfg(), &mut StdRng::seed_from_u64(7))
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8, 0] {
+            assert_eq!(run(threads), base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn triangle_sketch_exact_on_triangle_free_graph() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let fwd = ForwardOrientation::new(&g);
+        let sk = triangle_sketch(&g, &fwd, &cfg(), &mut StdRng::seed_from_u64(3));
+        // A star has no forward wedges at all (every edge is kept at the
+        // leaf), so the triangle estimate is exactly zero.
+        assert_eq!(sk.triangles, 0.0);
+        assert_eq!(sk.gcc, 0.0);
+        assert_eq!(sk.acc, 0.0);
+    }
+
+    #[test]
+    fn triangle_sketch_exact_on_complete_graph() {
+        // K5: every wedge closes, so sampling is noise-free: t̂ = W_fwd,
+        // GCC = ACC = 1 with zero sampling variance.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, edges).unwrap();
+        let fwd = ForwardOrientation::new(&g);
+        let sk = triangle_sketch(&g, &fwd, &cfg(), &mut StdRng::seed_from_u64(4));
+        assert_eq!(sk.triangles, 10.0);
+        assert!((sk.gcc - 1.0).abs() < 1e-12);
+        assert!((sk.acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_sketch_tracks_exact_counts() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let g = pgb_models::erdos_renyi_gnp(200, 0.08, &mut rng);
+        let fwd = ForwardOrientation::new(&g);
+        let exact_t = fwd.triangle_count() as f64;
+        let sk = triangle_sketch(&g, &fwd, &cfg(), &mut StdRng::seed_from_u64(51));
+        assert!(
+            (sk.triangles - exact_t).abs() <= sk.triangles_bound,
+            "estimate {} exact {exact_t} bound {}",
+            sk.triangles,
+            sk.triangles_bound
+        );
+        let exact_acc = crate::clustering::average_clustering(&g);
+        assert!((sk.acc - exact_acc).abs() <= sk.acc_bound, "acc {} vs {exact_acc}", sk.acc);
+    }
+
+    #[test]
+    fn triangle_sketch_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = pgb_models::erdos_renyi_gnp(300, 0.05, &mut rng);
+        let fwd = ForwardOrientation::new(&g);
+        let run = |threads| {
+            pgb_par::with_parallelism(threads, || {
+                triangle_sketch(&g, &fwd, &cfg(), &mut StdRng::seed_from_u64(8))
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8, 0] {
+            assert_eq!(run(threads), base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sampled_histogram_normalises() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let g = pgb_models::erdos_renyi_gnp(500, 0.02, &mut rng);
+        let s = sampled_degree_histogram(&g, 4096, &mut StdRng::seed_from_u64(61));
+        assert_eq!(s.samples, 4096);
+        assert_eq!(s.hist.iter().sum::<u64>(), 4096);
+        let dist = pgb_graph::degree::distribution_from_histogram(&s.hist, s.samples);
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_histogram_empty_graph_matches_exact_shape() {
+        let s = sampled_degree_histogram(&Graph::new(0), 128, &mut StdRng::seed_from_u64(62));
+        assert_eq!(s.samples, 0);
+        assert!(pgb_graph::degree::distribution_from_histogram(&s.hist, s.samples).is_empty());
+    }
+
+    #[test]
+    fn sampled_histogram_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let g = pgb_models::erdos_renyi_gnp(300, 0.03, &mut rng);
+        let run = |threads| {
+            pgb_par::with_parallelism(threads, || {
+                sampled_degree_histogram(&g, 2048, &mut StdRng::seed_from_u64(9))
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8, 0] {
+            assert_eq!(run(threads), base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn hoeffding_eps_shrinks_with_samples() {
+        assert!(hoeffding_eps(100, 0.95) > hoeffding_eps(10_000, 0.95));
+        assert!(hoeffding_eps(1000, 0.999) > hoeffding_eps(1000, 0.9));
+    }
+}

@@ -19,6 +19,7 @@
 //! results independent of the requested subset. The error-metric pairing of
 //! Table IV lives in `pgb-core`, which compares true-vs-synthetic values.
 
+pub mod approx;
 pub mod centrality;
 pub mod clustering;
 pub mod counting;
@@ -27,7 +28,7 @@ pub mod path;
 pub mod suite;
 pub mod topology;
 
-pub use suite::{QuerySuite, SuiteStats};
+pub use suite::{ApproxReport, QuerySuite, SuiteStats};
 
 use pgb_graph::Graph;
 use rand::Rng;
@@ -45,6 +46,84 @@ pub enum PathMode {
     },
 }
 
+/// Sketch parameters for [`EvalMode::Approx`]. See [`approx`] for the
+/// estimators each knob feeds and the error bounds they report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxConfig {
+    /// HyperLogLog precision `p` for the HyperANF path sweep: `2^p`
+    /// one-byte registers per node (clamped to `4..=16`). Relative error
+    /// scales as `1.04 / sqrt(2^p)`; memory as `2 · n · 2^p` bytes.
+    pub hll_precision: u8,
+    /// Cap on HyperANF sweep iterations (i.e. on the distance levels
+    /// explored). The sweep normally stops at its register fixpoint well
+    /// before this.
+    pub max_sweep_iters: usize,
+    /// Wedge samples per sampling pass for the triangle sketch (Q3/Q10)
+    /// and the local-clustering sketch (Q11).
+    pub wedge_samples: usize,
+    /// Node-degree samples for the sampled degree histogram (Q5/Q6).
+    pub histogram_samples: usize,
+    /// Confidence level the reported error bounds hold at (e.g. `0.99`).
+    pub confidence: f64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            hll_precision: 4,
+            max_sweep_iters: 64,
+            wedge_samples: 1 << 16,
+            histogram_samples: 1 << 16,
+            confidence: 0.99,
+        }
+    }
+}
+
+/// How [`QuerySuite::evaluate_all`] computes the super-linear shared
+/// intermediates.
+///
+/// This is a *suite-level* axis: [`Query::evaluate`] (the single-query
+/// path) always evaluates exactly, and the deterministic queries
+/// (Q1/Q2/Q4, Q12–Q15) are identical under both modes. Approximate
+/// evaluation draws its randomness from dedicated derived streams, so
+/// switching modes never perturbs the exact path's RNG cursor (the
+/// golden CSVs only exercise `Exact`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum EvalMode {
+    /// Every shared intermediate computed exactly (BFS sweep, forward
+    /// intersection, full degree histogram). The default.
+    #[default]
+    Exact,
+    /// Sketch-backed intermediates with reported error bounds: a
+    /// HyperANF register sweep for Q7–Q9, wedge sampling for Q3/Q10/Q11,
+    /// and a sampled degree histogram for Q5/Q6. See [`approx`].
+    Approx(ApproxConfig),
+}
+
+impl EvalMode {
+    /// Harness-facing name (the `--eval` flag value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalMode::Exact => "exact",
+            EvalMode::Approx(_) => "approx",
+        }
+    }
+}
+
+impl std::str::FromStr for EvalMode {
+    type Err = String;
+
+    /// Parses the harness `--eval` flag: `exact`, or `approx` (with the
+    /// default [`ApproxConfig`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(EvalMode::Exact),
+            "approx" => Ok(EvalMode::Approx(ApproxConfig::default())),
+            other => Err(format!("unknown eval mode {other:?} (expected exact|approx)")),
+        }
+    }
+}
+
 /// Evaluation parameters shared by all queries.
 #[derive(Clone, Copy, Debug)]
 pub struct QueryParams {
@@ -54,11 +133,20 @@ pub struct QueryParams {
     pub evc_max_iters: usize,
     /// Convergence threshold (L1 change) for eigenvector centrality.
     pub evc_tolerance: f64,
+    /// Exact or sketch-backed evaluation of the suite's shared
+    /// intermediates (honoured by [`QuerySuite`]; ignored by the
+    /// single-query [`Query::evaluate`] path, which is always exact).
+    pub eval: EvalMode,
 }
 
 impl Default for QueryParams {
     fn default() -> Self {
-        QueryParams { path_mode: PathMode::Exact, evc_max_iters: 200, evc_tolerance: 1e-9 }
+        QueryParams {
+            path_mode: PathMode::Exact,
+            evc_max_iters: 200,
+            evc_tolerance: 1e-9,
+            eval: EvalMode::Exact,
+        }
     }
 }
 
