@@ -3,13 +3,12 @@
 
 use crate::benchmark::metric::{compute_error, metric_for, ErrorMetric};
 use crate::generator::{GraphGenerator, PrivateSynthesis};
-use crate::par::BudgetLedger;
 use pgb_graph::Graph;
 use pgb_queries::{Query, QueryParams, QuerySuite, QueryValue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 
 /// Configuration of a benchmark run: the P and U of the 4-tuple plus
 /// execution knobs (M and G are passed to [`run_benchmark`] directly).
@@ -441,7 +440,7 @@ const ELASTIC_TASKS_PER_WORKER: usize = 4;
 /// Only *relative order* matters: the elastic scheduler multiplies this by
 /// a node-count factor to decide which (cell, repetition-block) sub-tasks
 /// to hand out first, so the expensive cells start while the pool is full
-/// and the tail the [`BudgetLedger`] parallelises is made of cheap cells.
+/// and the tail the [`crate::par::BudgetLedger`] parallelises is made of cheap cells.
 /// Scheduling only — claim order cannot change any cell's RNG stream or
 /// reduction order, so the CSV bytes are identical to grid-order claiming.
 pub fn algorithm_cost_weight(name: &str) -> u32 {
@@ -463,7 +462,7 @@ fn cell_cost(algorithm_name: &str, n: usize) -> u128 {
 }
 
 /// The elastic scheduler: (cell, repetition-block) sub-tasks claimed from
-/// a [`BudgetLedger`], each claim re-granting the live pool share. Every
+/// a [`crate::par::BudgetLedger`], each claim re-granting the live pool share. Every
 /// repetition publishes its error vector into a per-rep [`OnceLock`] slot;
 /// cells are reduced in repetition order afterwards, so the output is
 /// byte-identical to the static path.
@@ -507,8 +506,6 @@ fn run_grid_elastic(
         };
         key(b).cmp(&key(a)).then_with(|| (a.0, a.1.start).cmp(&(b.0, b.1.start)))
     });
-    let workers = budget.min(subtasks.len()).max(1);
-    let ledger = Arc::new(BudgetLedger::new(budget, workers, subtasks.len()));
     // One slot per (cell, repetition), cell-major — the reduction below
     // walks them in repetition order no matter who filled them when.
     let rep_slots: Vec<OnceLock<Option<Vec<f64>>>> =
@@ -520,49 +517,31 @@ fn run_grid_elastic(
     // coordinates, so the race's winner does not affect the bytes.
     let measured: Vec<OnceLock<MeasuredCell>> = (0..cells).map(|_| OnceLock::new()).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let (ledger, subtasks, rep_slots, measured) =
-                (&ledger, &subtasks, &rep_slots, &measured);
-            scope.spawn(move || {
-                while let Some((s, grant)) = ledger.claim() {
-                    let (cell, rep_range) = &subtasks[s];
-                    let (di, ai, ei) = tasks[*cell];
-                    let (_, graph) = &datasets[di];
-                    // The whole sub-task — the one-time measurement
-                    // included — runs under an *elastic* scope: the grant
-                    // can grow mid-task as other workers release threads
-                    // (`BudgetLedger::regrant`, polled by `par_collect`).
-                    let ((), grant) =
-                        crate::par::with_elastic_parallelism(Arc::clone(ledger), grant, || {
-                            let shared = (config.reuse == MeasureReuse::PerCell).then(|| {
-                                measured[*cell].get_or_init(|| {
-                                    measure_cell(
-                                        algorithms[ai].as_ref(),
-                                        graph,
-                                        config,
-                                        (di, ai, ei),
-                                    )
-                                })
-                            });
-                            for rep in rep_range.clone() {
-                                let errors = run_rep(
-                                    algorithms[ai].as_ref(),
-                                    graph,
-                                    &true_values[di],
-                                    config,
-                                    (di, ai, ei),
-                                    rep,
-                                    shared,
-                                );
-                                rep_slots[*cell * reps + rep]
-                                    .set(errors)
-                                    .expect("the ledger hands out each sub-task once");
-                            }
-                        });
-                    ledger.release(grant);
-                }
-            });
+    // The worker/claim loop itself — ledger claims plus elastic per-task
+    // grants that can grow mid-task as other workers release threads
+    // (`BudgetLedger::regrant`, polled by `par_collect`) — is the shared
+    // execution core `pgb-serve` also runs its request pipeline on.
+    crate::exec::run_elastic(budget, subtasks.len(), |s| {
+        let (cell, rep_range) = &subtasks[s];
+        let (di, ai, ei) = tasks[*cell];
+        let (_, graph) = &datasets[di];
+        let shared = (config.reuse == MeasureReuse::PerCell).then(|| {
+            measured[*cell]
+                .get_or_init(|| measure_cell(algorithms[ai].as_ref(), graph, config, (di, ai, ei)))
+        });
+        for rep in rep_range.clone() {
+            let errors = run_rep(
+                algorithms[ai].as_ref(),
+                graph,
+                &true_values[di],
+                config,
+                (di, ai, ei),
+                rep,
+                shared,
+            );
+            rep_slots[*cell * reps + rep]
+                .set(errors)
+                .expect("the ledger hands out each sub-task once");
         }
     });
 
@@ -592,7 +571,7 @@ fn run_grid_elastic(
 ///
 /// Work is distributed over `config.threads` total threads by the
 /// configured [`Scheduler`] — elastic (cell, repetition-block) sub-tasks
-/// with per-claim [`BudgetLedger`] grants by default, or the static
+/// with per-claim [`crate::par::BudgetLedger`] grants by default, or the static
 /// whole-cell split via [`Scheduler::Static`]. Workers publish into
 /// preallocated [`OnceLock`] slots — no shared mutex on the hot path —
 /// and per-cell errors always reduce in repetition order, so results are

@@ -5,6 +5,7 @@
 //! shares through a [`Budget`], which enforces sequential composition:
 //! spent shares must sum to at most the total.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A privacy guarantee: ε-DP when `delta == 0`, (ε, δ)-DP otherwise.
@@ -188,9 +189,14 @@ impl Budget {
 /// the accountant additionally records **what** each share was spent on —
 /// one `(label, ε)` entry per perturbation step — so a private intermediate
 /// can report its exact spend (`PrivateSynthesis::epsilon_spent` in
-/// `pgb-core`) and future serving layers can audit per-tenant consumption.
-/// Mechanisms register their splits against it instead of doing ad-hoc
+/// `pgb-core`) and serving layers can audit per-tenant consumption
+/// (`pgb-serve`'s `TenantAccountant` holds one per tenant). Mechanisms
+/// register their splits against it instead of doing ad-hoc
 /// `epsilon * fraction` arithmetic inline.
+///
+/// Labels are [`Cow`]s: mechanisms pass `&'static str` phase names for
+/// free, while a serving layer can record owned per-request labels
+/// (`"req0007 er/TmF ε=0.5"`) without interning.
 ///
 /// ```
 /// use pgb_dp::budget::BudgetAccountant;
@@ -206,7 +212,7 @@ impl Budget {
 #[derive(Clone, Debug)]
 pub struct BudgetAccountant {
     budget: Budget,
-    entries: Vec<(&'static str, f64)>,
+    entries: Vec<(Cow<'static, str>, f64)>,
 }
 
 impl BudgetAccountant {
@@ -231,24 +237,28 @@ impl BudgetAccountant {
     }
 
     /// The registered `(label, ε)` entries, in spend order.
-    pub fn entries(&self) -> &[(&'static str, f64)] {
+    pub fn entries(&self) -> &[(Cow<'static, str>, f64)] {
         &self.entries
     }
 
     /// Registers a labelled spend of `epsilon` and returns it, or errors if
     /// the remainder is insufficient (nothing is recorded on error).
-    pub fn spend(&mut self, label: &'static str, epsilon: f64) -> Result<f64, BudgetError> {
+    pub fn spend(
+        &mut self,
+        label: impl Into<Cow<'static, str>>,
+        epsilon: f64,
+    ) -> Result<f64, BudgetError> {
         let e = self.budget.spend(epsilon)?;
-        self.entries.push((label, e));
+        self.entries.push((label.into(), e));
         Ok(e)
     }
 
     /// Registers everything left under `label` and returns it. A drained
     /// accountant records nothing and returns 0.0.
-    pub fn spend_remaining(&mut self, label: &'static str) -> f64 {
+    pub fn spend_remaining(&mut self, label: impl Into<Cow<'static, str>>) -> f64 {
         let e = self.budget.spend_remaining();
         if e > 0.0 {
-            self.entries.push((label, e));
+            self.entries.push((label.into(), e));
         }
         e
     }
@@ -260,7 +270,7 @@ impl BudgetAccountant {
         let weights: Vec<f64> = shares.iter().map(|&(_, w)| w).collect();
         let eps = self.budget.split(&weights)?;
         for (&(label, _), &e) in shares.iter().zip(&eps) {
-            self.entries.push((label, e));
+            self.entries.push((Cow::Borrowed(label), e));
         }
         Ok(eps)
     }
@@ -334,6 +344,23 @@ mod tests {
         b.spend(0.2).unwrap();
         let shares = b.split(&[1.0, 1.0]).unwrap();
         assert!((shares[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_accepts_owned_labels() {
+        // Serving layers record per-request labels built at runtime; the
+        // Cow-based API must take them without interning, alongside the
+        // static phase names mechanisms use, and a rejected spend must
+        // record no entry.
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        acc.spend(format!("req{:04} er/TmF ε={}", 7, 0.25), 0.25).unwrap();
+        acc.spend("static phase", 0.5).unwrap();
+        assert!(acc.spend(String::from("too big"), 0.5).is_err());
+        assert_eq!(acc.entries().len(), 2);
+        assert_eq!(acc.entries()[0].0, "req0007 er/TmF ε=0.25");
+        assert_eq!(acc.entries()[1].0, "static phase");
+        let entry_sum: f64 = acc.entries().iter().map(|&(_, e)| e).sum();
+        assert_eq!(entry_sum, acc.spent());
     }
 
     #[test]

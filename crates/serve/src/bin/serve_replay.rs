@@ -1,0 +1,116 @@
+//! Replays a serving script and writes the deterministic transcript.
+//!
+//! The CI `serve-smoke` job runs this twice — `--threads 1` and
+//! `--threads 8` — and diffs the transcript files byte-for-byte: any
+//! scheduling leak into the transcript fails the build.
+//!
+//! ```text
+//! serve_replay [--threads N] [--script FILE] [--out FILE] [--cache-bytes N]
+//! ```
+//!
+//! With no `--script`, replays the built-in smoke script against two
+//! hosted synthetic datasets (`er`: G(200, 0.05); `ba`: BA(200, 3)),
+//! both seeded fixedly so every invocation serves identical data.
+
+use pgb_serve::{parse_script, Script, Server, ServerConfig, SMOKE_SCRIPT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    script: Option<String>,
+    out: String,
+    cache_bytes: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        script: None,
+        out: "target/serve_transcript.txt".to_string(),
+        cache_bytes: 64 << 20,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--threads" => {
+                args.threads =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--script" => args.script = Some(value("--script")?),
+            "--out" => args.out = value("--out")?,
+            "--cache-bytes" => {
+                args.cache_bytes =
+                    value("--cache-bytes")?.parse().map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_replay [--threads N] [--script FILE] [--out FILE] [--cache-bytes N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The fixed datasets every serve_replay invocation hosts. Seeds are
+/// constants: the transcript pins the synthetic outputs, so the inputs
+/// must be bit-stable across runs and thread counts too.
+fn host_datasets(server: &mut Server) {
+    let er = pgb_models::erdos_renyi_gnp(200, 0.05, &mut StdRng::seed_from_u64(0xE0));
+    let ba = pgb_models::barabasi_albert(200, 3, &mut StdRng::seed_from_u64(0xBA));
+    server.host_dataset("er", er);
+    server.host_dataset("ba", ba);
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = match &args.script {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => SMOKE_SCRIPT.to_string(),
+    };
+    let script: Script = parse_script(&text)?;
+
+    let config = ServerConfig { cache_bytes: args.cache_bytes, threads: args.threads };
+    let mut server = Server::new(config);
+    host_datasets(&mut server);
+    script.register_on(&server).map_err(|e| format!("registering tenants: {e}"))?;
+
+    let transcript = server.replay(&script.log, args.threads);
+    let text = transcript.to_text();
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&args.out, &text).map_err(|e| format!("writing {}: {e}", args.out))?;
+
+    let admitted = transcript.records.iter().filter(|r| r.admission.is_ok()).count();
+    let stats = server.cache().stats();
+    eprintln!(
+        "replayed {} requests ({admitted} admitted) over {} worker budget: \
+         {} measures, {} hits, {} coalesced, {} evictions → {}",
+        transcript.records.len(),
+        args.threads,
+        stats.measures,
+        stats.hits,
+        stats.coalesced,
+        stats.evictions,
+        args.out
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A tiny text format for canned serving sessions, so the CI smoke job
+//! (and anyone at a shell) can replay a multi-tenant request log and diff
+//! transcripts across thread counts without writing Rust.
+//!
+//! One directive per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! tenant <name> <epsilon>
+//! req <tenant> <dataset> <mechanism> <epsilon> <samples> <seed>
+//! ```
+//!
+//! Tenant lines must precede the first `req`; request lines are the log,
+//! in order. Mechanism names may contain no whitespace (the PGB suite's
+//! names — `TmF`, `DP-dK`, `PrivGraph`, … — never do).
+
+use crate::error::ServeError;
+use crate::server::{GenerateRequest, LogEntry, RequestLog};
+use std::fmt::Write as _;
+
+/// A parsed script: the tenant grants and the request log.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Script {
+    /// `(tenant, ε grant)` registrations, in script order.
+    pub tenants: Vec<(String, f64)>,
+    /// The request log, in script order.
+    pub log: RequestLog,
+}
+
+/// The canned multi-tenant session the CI `serve-smoke` job replays at
+/// two thread counts and diffs byte-for-byte. Exercises same-key bursts
+/// (coalescing), an exhausted tenant, and an unknown mechanism.
+pub const SMOKE_SCRIPT: &str = include_str!("../scripts/smoke.txt");
+
+/// Parses the script text. Errors render the offending line number; the
+/// error variants are reused from [`ServeError`] where they fit
+/// (`InvalidGrant`, `InvalidEpsilon`) and surface as strings otherwise.
+pub fn parse_script(text: &str) -> Result<Script, String> {
+    let mut script = Script::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let fail = |what: &str| format!("line {}: {what}: {raw:?}", lineno + 1);
+        match fields[0] {
+            "tenant" => {
+                if fields.len() != 3 {
+                    return Err(fail("expected `tenant <name> <epsilon>`"));
+                }
+                let eps: f64 = fields[2].parse().map_err(|_| fail("bad ε"))?;
+                script.tenants.push((fields[1].to_string(), eps));
+            }
+            "req" => {
+                if fields.len() != 7 {
+                    return Err(fail(
+                        "expected `req <tenant> <dataset> <mechanism> <epsilon> <samples> <seed>`",
+                    ));
+                }
+                let epsilon: f64 = fields[4].parse().map_err(|_| fail("bad ε"))?;
+                let samples: usize = fields[5].parse().map_err(|_| fail("bad sample count"))?;
+                let seed: u64 = fields[6].parse().map_err(|_| fail("bad seed"))?;
+                script.log.push(LogEntry {
+                    tenant: fields[1].to_string(),
+                    request: GenerateRequest {
+                        dataset: fields[2].to_string(),
+                        mechanism: fields[3].to_string(),
+                        epsilon,
+                        samples,
+                        seed,
+                    },
+                });
+            }
+            other => return Err(fail(&format!("unknown directive {other:?}"))),
+        }
+    }
+    Ok(script)
+}
+
+/// Renders a script back to text (round-trips through [`parse_script`]
+/// modulo comments and whitespace).
+pub fn render_script(script: &Script) -> String {
+    let mut out = String::new();
+    for (tenant, eps) in &script.tenants {
+        let _ = writeln!(out, "tenant {tenant} {eps}");
+    }
+    for entry in &script.log {
+        let q = &entry.request;
+        let _ = writeln!(
+            out,
+            "req {} {} {} {} {} {}",
+            entry.tenant, q.dataset, q.mechanism, q.epsilon, q.samples, q.seed
+        );
+    }
+    out
+}
+
+impl Script {
+    /// Registers this script's tenants on `server` (a fresh server — the
+    /// grants must not already exist).
+    pub fn register_on(&self, server: &crate::server::Server) -> Result<(), ServeError> {
+        for (tenant, eps) in &self.tenants {
+            server.register_tenant(tenant, *eps)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let text = "\
+# a comment
+tenant alice 12
+tenant bob 1.5
+
+req alice er TmF 0.5 2 7   # trailing comment
+req bob ba DP-dK 1 1 42
+";
+        let script = parse_script(text).unwrap();
+        assert_eq!(script.tenants, vec![("alice".into(), 12.0), ("bob".into(), 1.5)]);
+        assert_eq!(script.log.len(), 2);
+        assert_eq!(script.log[1].request.mechanism, "DP-dK");
+        assert_eq!(script.log[1].request.seed, 42);
+        let rendered = render_script(&script);
+        assert_eq!(parse_script(&rendered).unwrap(), script);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_script("tenant alice 1\nreq alice er TmF nope 1 1\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_script("grant alice 1\n").unwrap_err();
+        assert!(err.contains("unknown directive"), "{err}");
+        let err = parse_script("tenant alice\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn smoke_script_parses() {
+        let script = parse_script(SMOKE_SCRIPT).unwrap();
+        assert!(script.tenants.len() >= 3, "smoke script is multi-tenant");
+        assert!(script.log.len() >= 20, "smoke script has a real request stream");
+        // It deliberately contains at least one bad mechanism line (the
+        // transcript must pin rejections too).
+        assert!(script.log.iter().any(|e| e.request.mechanism == "NoSuchMechanism"));
+    }
+}

@@ -1,0 +1,434 @@
+//! The server: admission → budget charge → cached measure → samples, and
+//! the deterministic request-log replay that tests pin their transcripts
+//! on.
+
+use crate::accountant::{BudgetStatement, TenantAccountant, TenantStatement};
+use crate::cache::{CacheKey, MeasureCache};
+use crate::error::ServeError;
+use pgb_core::{GraphGenerator, PrivateSynthesis};
+use pgb_graph::Graph;
+use pgb_par::derive_stream;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a tenant asks for: `samples` synthetic graphs of `dataset` under
+/// `mechanism` at privacy budget `epsilon`, seeded by `seed`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateRequest {
+    /// Hosted dataset to synthesize.
+    pub dataset: String,
+    /// Mechanism display name (as in [`pgb_core::standard_suite`]).
+    pub mechanism: String,
+    /// ε charged to the tenant at admission.
+    pub epsilon: f64,
+    /// Synthetic graphs to construct (≥ 1).
+    pub samples: usize,
+    /// Request seed; part of the measurement's cache identity.
+    pub seed: u64,
+}
+
+/// One line of a request log: who asked for what, in arrival order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    /// The requesting tenant.
+    pub tenant: String,
+    /// The request.
+    pub request: GenerateRequest,
+}
+
+/// An ordered request log — the replayable record of a serving session.
+pub type RequestLog = Vec<LogEntry>;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Measurement-cache capacity in `heap_bytes`.
+    pub cache_bytes: usize,
+    /// Default worker-thread budget (0 ⇒ the machine's available
+    /// parallelism). [`Server::replay`] takes an explicit worker count —
+    /// the determinism contract is *about* varying it — and
+    /// [`Server::replay_default`] falls back to this.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // 64 MiB of intermediates, machine-sized thread budget.
+        Self { cache_bytes: 64 << 20, threads: 0 }
+    }
+}
+
+/// A live response: the admission statement plus the sampled graphs.
+#[derive(Debug)]
+pub struct Response {
+    /// The request's log index (its identity in the transcript).
+    pub id: u64,
+    /// The committed admission charge.
+    pub statement: BudgetStatement,
+    /// The synthetic graphs, in sample order.
+    pub graphs: Vec<Graph>,
+}
+
+/// One request's transcript line: the admission outcome and — when
+/// admitted — the execution outcome. The two are separate because a
+/// charge, once committed, stands even if the mechanism then fails: a
+/// record can show an admitted charge *and* a failed execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseRecord {
+    /// Log index of the request.
+    pub id: u64,
+    /// The requesting tenant.
+    pub tenant: String,
+    /// The request itself.
+    pub request: GenerateRequest,
+    /// Admission outcome: the committed charge, or the rejection.
+    pub admission: Result<BudgetStatement, ServeError>,
+    /// Execution outcome for admitted requests (`None` when rejected):
+    /// CSR byte serializations of the samples, or the measure failure.
+    pub samples: Option<Result<Vec<Vec<u8>>, ServeError>>,
+}
+
+/// The full deterministic output of a replay: per-request records in log
+/// order plus the final per-tenant budget statements. Two transcripts are
+/// byte-comparable with `==` (CSR bytes included) or diffable as text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transcript {
+    /// One record per log entry, in log order.
+    pub records: Vec<ResponseRecord>,
+    /// Final audit statements, sorted by tenant name.
+    pub tenants: Vec<TenantStatement>,
+}
+
+/// The generation service: hosted datasets, a mechanism suite, the
+/// concurrent tenant accountant, and the single-flight measurement cache.
+/// All request paths take `&self`, so one server instance is shared
+/// freely across worker threads.
+pub struct Server {
+    datasets: HashMap<String, Graph>,
+    generators: Vec<Box<dyn GraphGenerator>>,
+    accountant: TenantAccountant,
+    cache: MeasureCache,
+    config: ServerConfig,
+    /// The live request log: arrival order at this lock *is* log order,
+    /// and admission happens under it so budget statements are a pure
+    /// function of the log prefix (determinism invariant 1).
+    live: Mutex<RequestLog>,
+}
+
+impl Server {
+    /// An empty server with the standard PGB mechanism suite.
+    pub fn new(config: ServerConfig) -> Self {
+        Self::with_generators(config, pgb_core::standard_suite())
+    }
+
+    /// A server with a custom mechanism suite (tests inject recording and
+    /// faulty generators through this).
+    pub fn with_generators(config: ServerConfig, generators: Vec<Box<dyn GraphGenerator>>) -> Self {
+        Self {
+            datasets: HashMap::new(),
+            generators,
+            accountant: TenantAccountant::new(),
+            cache: MeasureCache::new(config.cache_bytes),
+            config,
+            live: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Hosts `graph` under `name` (replacing any previous dataset of that
+    /// name). Datasets are fixed before serving starts.
+    pub fn host_dataset(&mut self, name: &str, graph: Graph) {
+        self.datasets.insert(name.to_string(), graph);
+    }
+
+    /// Registers a tenant with a total ε grant.
+    pub fn register_tenant(&self, tenant: &str, epsilon: f64) -> Result<(), ServeError> {
+        self.accountant.register(tenant, epsilon)
+    }
+
+    /// The tenant accountant (audit statements, test assertions).
+    pub fn accountant(&self) -> &TenantAccountant {
+        &self.accountant
+    }
+
+    /// The measurement cache (stats, snapshots).
+    pub fn cache(&self) -> &MeasureCache {
+        &self.cache
+    }
+
+    /// A copy of the live request log (admitted *and* rejected requests,
+    /// in arrival order) — feed it to [`Server::replay`].
+    pub fn log(&self) -> RequestLog {
+        self.live.lock().expect("request log poisoned").clone()
+    }
+
+    /// Validates `req` against the hosted datasets and mechanism suite.
+    /// Runs **before** the budget charge so an invalid request never costs
+    /// its tenant anything.
+    fn validate(&self, req: &GenerateRequest) -> Result<(), ServeError> {
+        if !self.datasets.contains_key(&req.dataset) {
+            return Err(ServeError::UnknownDataset(req.dataset.clone()));
+        }
+        if !self.generators.iter().any(|g| g.name() == req.mechanism) {
+            return Err(ServeError::UnknownMechanism(req.mechanism.clone()));
+        }
+        if !(req.epsilon > 0.0 && req.epsilon.is_finite()) {
+            return Err(ServeError::InvalidEpsilon(req.epsilon));
+        }
+        if req.samples == 0 {
+            return Err(ServeError::InvalidSamples);
+        }
+        Ok(())
+    }
+
+    /// Admission for request `id`: validation, then the labelled ε charge.
+    /// Purely sequential arithmetic — callers serialize admissions in log
+    /// order.
+    fn admit(
+        &self,
+        id: u64,
+        tenant: &str,
+        req: &GenerateRequest,
+    ) -> Result<BudgetStatement, ServeError> {
+        self.validate(req)?;
+        let label = format!(
+            "req{id:05} {}/{} ε={} seed={}",
+            req.dataset, req.mechanism, req.epsilon, req.seed
+        );
+        self.accountant.spend(tenant, label, req.epsilon)
+    }
+
+    /// Executes an admitted request: cached single-flight measure, then
+    /// the request's own sample streams. The measure RNG depends only on
+    /// the cache key (determinism invariant 2); sample `j` of request `id`
+    /// runs on `derive_stream(mix(key, id), j)` (invariant 3).
+    fn execute(&self, id: u64, req: &GenerateRequest) -> Result<Vec<Graph>, ServeError> {
+        let key = CacheKey::new(&req.dataset, &req.mechanism, req.epsilon, req.seed);
+        let synthesis = self.measure_cached(&key)?;
+        let sample_base = mix64(key.hash64(), id);
+        let graphs = (0..req.samples)
+            .map(|j| synthesis.sample(&mut derive_stream(sample_base, j as u64)))
+            .collect();
+        Ok(graphs)
+    }
+
+    /// The cache lookup + measure closure for `key`. Split out so the
+    /// fault-injection tests can reason about it: the closure runs with no
+    /// lock held and its panics resolve to [`ServeError::MeasurePanicked`].
+    fn measure_cached(&self, key: &CacheKey) -> Result<Arc<dyn PrivateSynthesis>, ServeError> {
+        self.cache.get_or_measure(key, || {
+            let generator = self
+                .generators
+                .iter()
+                .find(|g| g.name() == key.mechanism)
+                .expect("mechanism validated at admission");
+            let graph = self.datasets.get(&key.dataset).expect("dataset validated at admission");
+            // The measure stream derives from the key alone: whichever
+            // request leads the flight, and however often an eviction
+            // forces a re-measure, the intermediate's bytes are identical.
+            let mut rng = derive_stream(key.hash64(), u64::MAX);
+            generator.measure(graph, key.epsilon(), &mut rng).map_err(|e| {
+                ServeError::MeasureFailed {
+                    mechanism: key.mechanism.clone(),
+                    reason: e.to_string(),
+                }
+            })
+        })
+    }
+
+    /// Live one-request path: appends to the log and admits under the log
+    /// lock (arrival order = log order = charge order), then executes
+    /// outside it. Rejected requests are logged too — a replay must
+    /// reproduce their rejections.
+    pub fn submit(&self, tenant: &str, req: GenerateRequest) -> Result<Response, ServeError> {
+        let (id, admission) = {
+            let mut live = self.live.lock().expect("request log poisoned");
+            let id = live.len() as u64;
+            let admission = self.admit(id, tenant, &req);
+            live.push(LogEntry { tenant: tenant.to_string(), request: req.clone() });
+            (id, admission)
+        };
+        let statement = admission?;
+        let graphs = self.execute(id, &req)?;
+        Ok(Response { id, statement, graphs })
+    }
+
+    /// Replays `log` over `threads` workers (0 ⇒ available parallelism)
+    /// and returns the transcript. Byte-identical at **any** worker count:
+    ///
+    /// 1. admissions fold sequentially over the log (charges and
+    ///    rejections are functions of the log prefix);
+    /// 2. admitted requests execute in parallel on the shared elastic
+    ///    worker/claim loop ([`pgb_core::exec::run_elastic`]), writing
+    ///    into per-request slots;
+    /// 3. records assemble in log order.
+    ///
+    /// The caller provides a server whose tenants are freshly registered;
+    /// replay charges them exactly as the original session did.
+    pub fn replay(&self, log: &RequestLog, threads: usize) -> Transcript {
+        // Phase 1 — sequential admission in log order.
+        let admissions: Vec<Result<BudgetStatement, ServeError>> = log
+            .iter()
+            .enumerate()
+            .map(|(id, entry)| self.admit(id as u64, &entry.tenant, &entry.request))
+            .collect();
+
+        // Phase 2 — parallel execution of the admitted requests.
+        let admitted: Vec<usize> = (0..log.len()).filter(|&i| admissions[i].is_ok()).collect();
+        let slots: Vec<OnceLock<Result<Vec<Vec<u8>>, ServeError>>> =
+            admitted.iter().map(|_| OnceLock::new()).collect();
+        pgb_core::exec::run_elastic(threads, admitted.len(), |task| {
+            let i = admitted[task];
+            let result = self
+                .execute(i as u64, &log[i].request)
+                .map(|graphs| graphs.iter().map(csr_bytes).collect());
+            slots[task].set(result).expect("task executed twice");
+        });
+
+        // Phase 3 — assemble records in log order.
+        let mut executed = slots.into_iter();
+        let records = log
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                let admission = admissions[i].clone();
+                let samples = admission.is_ok().then(|| {
+                    executed
+                        .next()
+                        .expect("one slot per admitted request")
+                        .into_inner()
+                        .expect("admitted request executed")
+                });
+                ResponseRecord {
+                    id: i as u64,
+                    tenant: entry.tenant.clone(),
+                    request: entry.request.clone(),
+                    admission,
+                    samples,
+                }
+            })
+            .collect();
+
+        let tenants = self
+            .accountant
+            .tenants()
+            .into_iter()
+            .map(|t| self.accountant.statement(&t).expect("listed tenant exists"))
+            .collect();
+
+        Transcript { records, tenants }
+    }
+
+    /// [`Server::replay`] at the configured thread budget.
+    pub fn replay_default(&self, log: &RequestLog) -> Transcript {
+        self.replay(log, self.config.threads)
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("datasets", &self.datasets.len())
+            .field("generators", &self.generators.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// The same xorshift-multiply mixer family as [`derive_stream`], used to
+/// combine a cache key's digest with a request id into the base of that
+/// request's private sample-stream family.
+fn mix64(base: u64, index: u64) -> u64 {
+    let mut h = base ^ 0x2545_F491_4F6C_DD1D;
+    h ^= index.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h = h.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    h ^= h >> 32;
+    h
+}
+
+/// Canonical byte serialization of a graph's CSR: a `u64` LE offsets
+/// length, the `u32` LE offsets, then the `u32` LE neighbor lists. Two
+/// graphs are identical iff their `csr_bytes` are.
+pub fn csr_bytes(graph: &Graph) -> Vec<u8> {
+    let (offsets, neighbors) = graph.csr();
+    let mut out = Vec::with_capacity(8 + 4 * (offsets.len() + neighbors.len()));
+    out.extend_from_slice(&(offsets.len() as u64).to_le_bytes());
+    for &o in offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    for &n in neighbors {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    out
+}
+
+/// 64-bit FNV-1a over a byte slice — the digest the text transcript
+/// renders per sample so a diff stays human-sized while still pinning
+/// every CSR byte.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl Transcript {
+    /// Renders the transcript as diff-friendly text: one block per record
+    /// (admission outcome, then per-sample FNV-1a digests of the CSR
+    /// bytes) followed by the final tenant statements. Floats render with
+    /// `{}` — exact shortest round-trip, so two transcripts differ in text
+    /// iff they differ in value.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let q = &r.request;
+            let _ = writeln!(
+                out,
+                "req {:05} tenant={} {}/{} ε={} samples={} seed={}",
+                r.id, r.tenant, q.dataset, q.mechanism, q.epsilon, q.samples, q.seed
+            );
+            match &r.admission {
+                Ok(st) => {
+                    let _ = writeln!(
+                        out,
+                        "  admitted charged={} spent={} remaining={}",
+                        st.charged, st.spent, st.remaining
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  rejected {}: {}", e.tag(), e);
+                }
+            }
+            match &r.samples {
+                Some(Ok(samples)) => {
+                    for (j, bytes) in samples.iter().enumerate() {
+                        let _ = writeln!(
+                            out,
+                            "  sample {j}: fnv1a={:016x} bytes={}",
+                            fnv1a(bytes),
+                            bytes.len()
+                        );
+                    }
+                }
+                Some(Err(e)) => {
+                    let _ = writeln!(out, "  failed {}: {}", e.tag(), e);
+                }
+                None => {}
+            }
+        }
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {} grant={} consumed={} remaining={} entries={}",
+                t.tenant,
+                t.grant,
+                t.consumed,
+                t.remaining,
+                t.entries.len()
+            );
+        }
+        out
+    }
+}

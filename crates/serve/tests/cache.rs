@@ -1,0 +1,221 @@
+//! Cache-behaviour satellite: a recording generator proves the
+//! single-flight guarantee (k concurrent same-key requests → exactly one
+//! ε-consuming measure and k independent samples), the LRU eviction
+//! order, the `heap_bytes` capacity accounting, and budget isolation when
+//! evicted keys re-measure.
+
+use pgb_core::{GenerateError, GraphGenerator, PrivateSynthesis};
+use pgb_graph::Graph;
+use pgb_serve::{GenerateRequest, Server, ServerConfig};
+use rand::RngCore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Shared counters the recording generator and its syntheses bump.
+#[derive(Default)]
+struct Counters {
+    measures: AtomicUsize,
+    samples: AtomicUsize,
+}
+
+/// A mechanism that records every measure and sample, holds `measure` for
+/// `delay` (so concurrent requests pile onto the flight), and reports a
+/// configurable `heap_bytes` for its intermediate.
+struct Recording {
+    counters: Arc<Counters>,
+    delay: Duration,
+    bytes: usize,
+}
+
+struct RecordingSynthesis {
+    counters: Arc<Counters>,
+    bytes: usize,
+    /// Drawn from the measure RNG: makes the intermediate depend on its
+    /// randomness, like a real mechanism's noisy representation.
+    noise: u64,
+}
+
+impl GraphGenerator for Recording {
+    fn name(&self) -> &'static str {
+        "Recording"
+    }
+
+    fn measure(
+        &self,
+        _graph: &Graph,
+        _epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
+        std::thread::sleep(self.delay);
+        self.counters.measures.fetch_add(1, Ordering::SeqCst);
+        Ok(Box::new(RecordingSynthesis {
+            counters: Arc::clone(&self.counters),
+            bytes: self.bytes,
+            noise: rng.next_u64(),
+        }))
+    }
+}
+
+impl PrivateSynthesis for RecordingSynthesis {
+    fn name(&self) -> &'static str {
+        "Recording"
+    }
+    fn epsilon_spent(&self) -> f64 {
+        1.0
+    }
+    fn heap_bytes(&self) -> usize {
+        self.bytes
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        self.counters.samples.fetch_add(1, Ordering::SeqCst);
+        // A 3-node graph whose edge set depends on the intermediate's
+        // noise and the sample stream: distinguishable outputs without
+        // real synthesis work.
+        let bits = self.noise ^ rng.next_u64();
+        let edges = [(0u32, 1u32), (1, 2), (0, 2)];
+        Graph::from_edges(
+            3,
+            edges.iter().enumerate().filter(|(i, _)| bits >> i & 1 == 1).map(|(_, &e)| e),
+        )
+        .unwrap()
+    }
+}
+
+/// A server hosting one trivial dataset with one recording mechanism.
+fn recording_server(
+    cache_bytes: usize,
+    delay_ms: u64,
+    entry_bytes: usize,
+) -> (Server, Arc<Counters>) {
+    let counters = Arc::new(Counters::default());
+    let gen = Recording {
+        counters: Arc::clone(&counters),
+        delay: Duration::from_millis(delay_ms),
+        bytes: entry_bytes,
+    };
+    let mut server =
+        Server::with_generators(ServerConfig { cache_bytes, threads: 0 }, vec![Box::new(gen)]);
+    server.host_dataset("d", Graph::new(4));
+    (server, counters)
+}
+
+fn req(seed: u64) -> GenerateRequest {
+    GenerateRequest {
+        dataset: "d".into(),
+        mechanism: "Recording".into(),
+        epsilon: 0.5,
+        samples: 1,
+        seed,
+    }
+}
+
+/// k concurrent same-key requests: exactly one measure runs, every
+/// request draws its own sample, and every tenant is charged for its own
+/// admission (coalescing shares the *measurement*, never the bill).
+#[test]
+fn concurrent_same_key_requests_coalesce_onto_one_measure() {
+    const K: usize = 6;
+    let (server, counters) = recording_server(1 << 20, 200, 64);
+    for i in 0..K {
+        server.register_tenant(&format!("t{i}"), 2.0).unwrap();
+    }
+
+    let barrier = Barrier::new(K);
+    std::thread::scope(|scope| {
+        for i in 0..K {
+            let (server, barrier) = (&server, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                server.submit(&format!("t{i}"), req(7)).unwrap();
+            });
+        }
+    });
+
+    assert_eq!(counters.measures.load(Ordering::SeqCst), 1, "single-flight: one measure");
+    assert_eq!(counters.samples.load(Ordering::SeqCst), K, "every request sampled");
+    let stats = server.cache().stats();
+    assert_eq!(stats.measures, 1);
+    assert_eq!(stats.hits + stats.coalesced, K - 1, "the other {} requests shared it", K - 1);
+    assert!(
+        stats.coalesced >= 1,
+        "with a 200ms measure, some requests must have waited on the flight: {stats:?}"
+    );
+    // Every tenant paid for its own admission.
+    for i in 0..K {
+        let st = server.accountant().statement(&format!("t{i}")).unwrap();
+        assert_eq!(st.consumed, 0.5, "tenant t{i} charged exactly once");
+    }
+}
+
+/// Eviction follows recency order, and capacity is accounted in the
+/// intermediates' own `heap_bytes`.
+#[test]
+fn lru_eviction_order_and_heap_bytes_accounting() {
+    // Three 100-byte entries fit a 350-byte cache; the fourth evicts the
+    // least recently *used* (not least recently inserted).
+    let (server, counters) = recording_server(350, 0, 100);
+    server.register_tenant("t", 100.0).unwrap();
+
+    for seed in [1, 2, 3] {
+        server.submit("t", req(seed)).unwrap();
+    }
+    assert_eq!(server.cache().resident_bytes(), 300);
+    // Touch seed 1: now 2 is the coldest.
+    server.submit("t", req(1)).unwrap();
+    assert_eq!(counters.measures.load(Ordering::SeqCst), 3, "seed 1 was a hit");
+    server.submit("t", req(4)).unwrap();
+
+    let resident: Vec<u64> = server.cache().snapshot().iter().map(|(k, _)| k.seed).collect();
+    assert_eq!(resident, vec![3, 1, 4], "seed 2 evicted; LRU→MRU order");
+    assert_eq!(server.cache().resident_bytes(), 300);
+    assert!(server.cache().snapshot().iter().all(|(_, b)| *b == 100));
+    assert_eq!(server.cache().stats().evictions, 1);
+}
+
+/// An evicted key re-measures deterministically on its next request —
+/// and the re-measure bills nobody: ε was charged at admission, so the
+/// requesting tenant pays for its request and other tenants' budgets
+/// never move.
+#[test]
+fn evicted_keys_remeasure_without_touching_other_tenants() {
+    // Capacity of one entry: every new key evicts the previous one.
+    let (server, counters) = recording_server(100, 0, 100);
+    server.register_tenant("alice", 10.0).unwrap();
+    server.register_tenant("bob", 10.0).unwrap();
+
+    let first = server.submit("alice", req(1)).unwrap();
+    server.submit("alice", req(2)).unwrap(); // evicts seed 1
+    assert_eq!(server.cache().stats().evictions, 1);
+    let alice_before = server.accountant().statement("alice").unwrap();
+
+    // Bob re-requests the evicted key: a fresh measure runs...
+    let again = server.submit("bob", req(1)).unwrap();
+    assert_eq!(counters.measures.load(Ordering::SeqCst), 3, "evicted key re-measured");
+    // ...producing the *same* intermediate (measure RNG is a pure
+    // function of the key), so the re-measure is invisible in the bytes:
+    // bob's sample stream differs from alice's (different request id) but
+    // the noise the intermediate carries is identical — verified end to
+    // end by the replay suite; here we pin the billing: only bob paid.
+    assert_eq!(again.statement.charged, 0.5);
+    let alice_after = server.accountant().statement("alice").unwrap();
+    assert_eq!(alice_before, alice_after, "alice's budget untouched by bob's re-measure");
+    assert_eq!(server.accountant().statement("bob").unwrap().consumed, 0.5);
+    drop(first);
+}
+
+/// Same key, many sequential requests: one measure, then pure hits — the
+/// measurement-reuse economics the cache exists for.
+#[test]
+fn repeat_requests_hit_without_remeasuring() {
+    let (server, counters) = recording_server(1 << 20, 0, 10);
+    server.register_tenant("t", 100.0).unwrap();
+    for _ in 0..5 {
+        server.submit("t", req(9)).unwrap();
+    }
+    assert_eq!(counters.measures.load(Ordering::SeqCst), 1);
+    assert_eq!(counters.samples.load(Ordering::SeqCst), 5);
+    assert_eq!(server.cache().stats().hits, 4);
+    // The tenant still paid per admission — hits save compute, not ε.
+    assert_eq!(server.accountant().statement("t").unwrap().consumed, 2.5);
+}

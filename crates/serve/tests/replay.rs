@@ -1,0 +1,152 @@
+//! The deterministic-replay satellite: one request log, replayed at
+//! worker counts {1, 2, 8, 0 (machine)}, across cache capacities, must
+//! produce byte-identical transcripts — CSR bytes and budget statements
+//! included. Also pins submit ≡ replay: a transcript reconstructed from a
+//! live session's log matches what the live session actually returned.
+
+use pgb_serve::{
+    csr_bytes, parse_script, GenerateRequest, Server, ServerConfig, Transcript, SMOKE_SCRIPT,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fresh server hosting the two fixed smoke datasets with the standard
+/// mechanism suite and the smoke script's tenants registered.
+fn smoke_server(cache_bytes: usize) -> Server {
+    let mut server = Server::new(ServerConfig { cache_bytes, threads: 0 });
+    server.host_dataset(
+        "er",
+        pgb_models::erdos_renyi_gnp(200, 0.05, &mut StdRng::seed_from_u64(0xE0)),
+    );
+    server
+        .host_dataset("ba", pgb_models::barabasi_albert(200, 3, &mut StdRng::seed_from_u64(0xBA)));
+    parse_script(SMOKE_SCRIPT).unwrap().register_on(&server).unwrap();
+    server
+}
+
+fn replay_smoke(cache_bytes: usize, threads: usize) -> Transcript {
+    let script = parse_script(SMOKE_SCRIPT).unwrap();
+    smoke_server(cache_bytes).replay(&script.log, threads)
+}
+
+#[test]
+fn transcript_is_byte_identical_at_any_worker_count() {
+    let baseline = replay_smoke(64 << 20, 1);
+    // The transcript is non-trivial: admitted work, rejections, samples.
+    assert!(baseline.records.iter().any(|r| r.admission.is_ok()));
+    assert!(baseline.records.iter().any(|r| r.admission.is_err()));
+    for threads in [2usize, 8, 0] {
+        let transcript = replay_smoke(64 << 20, threads);
+        assert_eq!(
+            transcript,
+            baseline,
+            "transcript diverged at {threads} workers:\n{}",
+            diff_hint(&baseline, &transcript)
+        );
+        // Text rendering is a function of the value, so it agrees too.
+        assert_eq!(transcript.to_text(), baseline.to_text());
+    }
+}
+
+#[test]
+fn transcript_is_independent_of_cache_capacity() {
+    // 0 bytes (never retains — every request re-measures), 4 KiB (heavy
+    // eviction churn), and roomy: the hit/miss/eviction sequence differs
+    // wildly, the bytes cannot.
+    let baseline = replay_smoke(64 << 20, 8);
+    for cache_bytes in [0usize, 4 << 10] {
+        let transcript = replay_smoke(cache_bytes, 8);
+        assert_eq!(
+            transcript,
+            baseline,
+            "transcript diverged at {cache_bytes}-byte cache:\n{}",
+            diff_hint(&baseline, &transcript)
+        );
+    }
+    // Sanity: the tiny capacities really did change the cache's life.
+    let starved = smoke_server(0);
+    starved.replay(&parse_script(SMOKE_SCRIPT).unwrap().log, 8);
+    assert_eq!(starved.cache().stats().hits, 0, "a 0-byte cache cannot hit");
+    assert!(starved.cache().stats().evictions > 0);
+}
+
+#[test]
+fn live_submissions_replay_to_the_same_bytes() {
+    let live = smoke_server(64 << 20);
+    let script = parse_script(SMOKE_SCRIPT).unwrap();
+
+    // Drive the live path one request at a time (arrival order = log
+    // order), remembering what each tenant actually received.
+    let mut live_outcomes = Vec::new();
+    for entry in &script.log {
+        let outcome = live.submit(&entry.tenant, entry.request.clone());
+        live_outcomes.push(outcome);
+    }
+    let log = live.log();
+    assert_eq!(log.len(), script.log.len(), "rejected requests are logged too");
+    assert_eq!(log, script.log);
+
+    // Replay the recorded log on a fresh server at a different worker
+    // count; every record must match the live session byte-for-byte.
+    let transcript = smoke_server(64 << 20).replay(&log, 8);
+    assert_eq!(transcript.records.len(), live_outcomes.len());
+    for (record, outcome) in transcript.records.iter().zip(&live_outcomes) {
+        match outcome {
+            Ok(response) => {
+                assert_eq!(record.admission.as_ref().unwrap(), &response.statement);
+                let live_bytes: Vec<Vec<u8>> = response.graphs.iter().map(csr_bytes).collect();
+                assert_eq!(record.samples.as_ref().unwrap().as_ref().unwrap(), &live_bytes);
+            }
+            Err(err) => {
+                assert_eq!(record.admission.as_ref().unwrap_err(), err);
+                assert!(record.samples.is_none());
+            }
+        }
+    }
+
+    // The final audit statements agree as well.
+    let live_tenants: Vec<_> = live
+        .accountant()
+        .tenants()
+        .into_iter()
+        .map(|t| live.accountant().statement(&t).unwrap())
+        .collect();
+    assert_eq!(transcript.tenants, live_tenants);
+}
+
+#[test]
+fn samples_are_independent_across_requests_and_indices() {
+    // Two requests sharing one measurement (same cache key) must draw
+    // disjoint sample streams; DGG's construction is genuinely random so
+    // equal outputs would expose stream reuse.
+    let server = smoke_server(64 << 20);
+    let req = |samples| GenerateRequest {
+        dataset: "er".into(),
+        mechanism: "DGG".into(),
+        epsilon: 0.5,
+        samples,
+        seed: 99,
+    };
+    let a = server.submit("alice", req(2)).unwrap();
+    let b = server.submit("bob", req(2)).unwrap();
+    assert_eq!(server.cache().stats().measures, 1, "one measurement, four samples");
+    let bytes: Vec<Vec<u8>> = a.graphs.iter().chain(&b.graphs).map(csr_bytes).collect();
+    for i in 0..bytes.len() {
+        for j in 0..i {
+            assert_ne!(bytes[i], bytes[j], "samples {j} and {i} drew the same stream");
+        }
+    }
+}
+
+/// Points at the first diverging record, for a readable failure.
+fn diff_hint(a: &Transcript, b: &Transcript) -> String {
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        if ra != rb {
+            return format!("first divergence at req {:05}:\n  {ra:?}\n  {rb:?}", ra.id);
+        }
+    }
+    if a.tenants != b.tenants {
+        return format!("tenant statements diverge:\n  {:?}\n  {:?}", a.tenants, b.tenants);
+    }
+    "records equal; lengths differ?".to_string()
+}

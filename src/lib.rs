@@ -17,6 +17,9 @@
 //! * [`datasets`] — the 8 benchmark graphs of Table VI.
 //! * [`core`] — the six DP generation algorithms plus the benchmark
 //!   framework itself (the paper's contribution).
+//! * [`serve`] — generation as a service: concurrent per-tenant budget
+//!   accounting, the single-flight measurement cache, and deterministic
+//!   request-log replay.
 
 pub use pgb_community as community;
 pub use pgb_core as core;
@@ -27,6 +30,7 @@ pub use pgb_metrics as metrics;
 pub use pgb_models as models;
 pub use pgb_par as par;
 pub use pgb_queries as queries;
+pub use pgb_serve as serve;
 
 /// Convenience prelude pulling in the types most applications need.
 pub mod prelude {
