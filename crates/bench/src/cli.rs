@@ -53,6 +53,12 @@ pub struct HarnessArgs {
     /// change by design (each estimate carries a stated error bound), but
     /// stay deterministic in threads and scheduler.
     pub eval: EvalMode,
+    /// Number of snapshot windows for the temporal harness
+    /// (`--windows N`, N ≥ 1; only the temporal binaries read it).
+    pub windows: usize,
+    /// Per-window ε weights (`--window-eps w1,w2,…`). Empty ⇒ even split.
+    /// When given, the length must equal `windows`.
+    pub window_eps: Vec<f64>,
 }
 
 impl Default for HarnessArgs {
@@ -65,14 +71,16 @@ impl Default for HarnessArgs {
             sched: Scheduler::default(),
             reuse: MeasureReuse::default(),
             eval: EvalMode::default(),
+            windows: 4,
+            window_eps: Vec::new(),
         }
     }
 }
 
 impl HarnessArgs {
     /// Parses `--scale`, `--reps`, `--seed`, `--threads`, `--sched`,
-    /// `--reuse`, `--eval` from an iterator of arguments (unknown
-    /// arguments error).
+    /// `--reuse`, `--eval`, `--windows`, `--window-eps` from an iterator
+    /// of arguments (unknown arguments error).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
@@ -116,8 +124,33 @@ impl HarnessArgs {
                     out.eval =
                         value_of("--eval")?.parse().map_err(|e| format!("invalid --eval: {e}"))?;
                 }
+                "--windows" => {
+                    out.windows = value_of("--windows")?
+                        .parse()
+                        .map_err(|e| format!("invalid --windows: {e}"))?;
+                    if out.windows == 0 {
+                        return Err("--windows must be at least 1".to_string());
+                    }
+                }
+                "--window-eps" => {
+                    out.window_eps = value_of("--window-eps")?
+                        .split(',')
+                        .map(|w| {
+                            w.trim()
+                                .parse::<f64>()
+                                .map_err(|e| format!("invalid --window-eps: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
+        }
+        if !out.window_eps.is_empty() && out.window_eps.len() != out.windows {
+            return Err(format!(
+                "--window-eps has {} weights but --windows is {}",
+                out.window_eps.len(),
+                out.windows
+            ));
         }
         Ok(out)
     }
@@ -130,7 +163,8 @@ impl HarnessArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--scale small|medium|paper] [--reps N] [--seed N] [--threads N] \
-                     [--sched static|elastic] [--reuse rep|cell] [--eval exact|approx]"
+                     [--sched static|elastic] [--reuse rep|cell] [--eval exact|approx] \
+                     [--windows N] [--window-eps w1,w2,...]"
                 );
                 std::process::exit(2);
             }
@@ -219,6 +253,23 @@ mod tests {
         assert_eq!(Scale::Small.repetitions(), 2);
         assert_eq!(Scale::Medium.repetitions(), 5);
         assert_eq!(Scale::Paper.repetitions(), 10);
+    }
+
+    #[test]
+    fn windows_parse_and_validate() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.windows, 4);
+        assert!(a.window_eps.is_empty());
+        let a = parse(&["--windows", "6"]).unwrap();
+        assert_eq!(a.windows, 6);
+        let a = parse(&["--windows", "3", "--window-eps", "1,2, 3"]).unwrap();
+        assert_eq!(a.window_eps, vec![1.0, 2.0, 3.0]);
+        // Weight count must match the window count (order-independent).
+        assert!(parse(&["--windows", "3", "--window-eps", "1,2"]).is_err());
+        assert!(parse(&["--window-eps", "1,2", "--windows", "3"]).is_err());
+        assert!(parse(&["--windows", "0"]).is_err());
+        assert!(parse(&["--window-eps", "1,oops"]).is_err());
+        assert!(parse(&["--windows"]).is_err());
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! | `fig3_fig4_tmf_verify` | Figs. 3/4 — TmF verification on Facebook |
 //! | `fig5_fig6_privskg_verify` | Figs. 5/6 — PrivSKG verification on CA-GrQc |
 //! | `fig7_der` | Fig. 7 — DER vs TmF vs PrivGraph |
-//! | `run_all` | everything above, in sequence |
+//! | `temporal_grid` | temporal scenario axis — per-window errors + drift |
+//! | `run_all` | everything above (except `temporal_grid`), in sequence |
 //!
 //! Every binary accepts `--scale small|medium|paper` (default `small`),
 //! `--reps N`, `--seed N`, `--threads N`, and `--sched static|elastic`
@@ -34,5 +35,7 @@ pub mod timing;
 
 pub use alloc_counter::CountingAllocator;
 pub use cli::{HarnessArgs, Scale};
-pub use setup::{benchmark_config, load_datasets, suite};
+pub use setup::{
+    benchmark_config, load_datasets, load_temporal_datasets, suite, temporal_suite_for,
+};
 pub use timing::time_once;

@@ -3,8 +3,11 @@
 
 use crate::cli::HarnessArgs;
 use pgb_core::benchmark::BenchmarkConfig;
+use pgb_core::temporal::TemporalGenerator;
 use pgb_core::GraphGenerator;
+use pgb_datasets::temporal::TemporalDataset;
 use pgb_datasets::Dataset;
+use pgb_graph::temporal::SnapshotSequence;
 use pgb_graph::Graph;
 use pgb_queries::{PathMode, QueryParams};
 
@@ -14,9 +17,38 @@ pub fn load_datasets(seed: u64) -> Vec<(String, Graph)> {
     Dataset::TABLE_VI.iter().map(|d| (d.name().to_string(), d.generate(seed))).collect()
 }
 
+/// Loads the temporal event logs, windowed into `windows` snapshots each.
+pub fn load_temporal_datasets(seed: u64, windows: usize) -> Vec<(String, SnapshotSequence)> {
+    TemporalDataset::ALL
+        .iter()
+        .map(|d| {
+            let seq = d
+                .events(seed)
+                .snapshots(windows)
+                .expect("temporal stand-ins have valid node ranges");
+            (d.name().to_string(), seq)
+        })
+        .collect()
+}
+
 /// The paper's six-algorithm suite (Table V).
 pub fn suite() -> Vec<Box<dyn GraphGenerator>> {
     pgb_core::standard_suite()
+}
+
+/// The temporal mechanism suite, with the harness's `--window-eps`
+/// weights applied (empty ⇒ even split).
+pub fn temporal_suite_for(args: &HarnessArgs) -> Vec<TemporalGenerator> {
+    pgb_core::temporal_suite()
+        .into_iter()
+        .map(|g| {
+            if args.window_eps.is_empty() {
+                g
+            } else {
+                g.with_window_weights(args.window_eps.clone())
+            }
+        })
+        .collect()
 }
 
 /// Node count above which path queries switch to sampled BFS (see
@@ -112,6 +144,28 @@ mod tests {
         );
         // The eval axis must not disturb the BFS-mode decision.
         assert_eq!(benchmark_config(&args, 100).query_params.path_mode, PathMode::Exact);
+    }
+
+    #[test]
+    fn temporal_datasets_load_and_window() {
+        let ds = load_temporal_datasets(0, 4);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].0, "BA-growth");
+        assert!(ds.iter().all(|(_, seq)| seq.window_count() == 4));
+        // Deterministic in the harness seed.
+        let again = load_temporal_datasets(0, 4);
+        assert_eq!(ds[0].1.snapshot(0).csr(), again[0].1.snapshot(0).csr());
+    }
+
+    #[test]
+    fn temporal_suite_applies_window_weights() {
+        let args = HarnessArgs::default();
+        let names: Vec<&str> = temporal_suite_for(&args).iter().map(|g| g.name()).collect();
+        assert_eq!(names, ["TmF", "DGG"]);
+        // Weighted suites still build (the weight/window match is checked
+        // at measure time against the actual sequence).
+        let args = HarnessArgs { windows: 2, window_eps: vec![3.0, 1.0], ..Default::default() };
+        assert_eq!(temporal_suite_for(&args).len(), 2);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! * [`metric`] — the query → error-metric pairing of Table IV / §V-D.
 //! * [`runner`] — executes algorithms × datasets × ε × repetitions and
 //!   averages errors (the paper averages 10 runs per cell).
+//! * [`temporal`] — the windowed variant of the grid: snapshot sequences ×
+//!   algorithms × ε, one row per window plus a drift row per query.
 //! * [`scoring`] — the best-performance counts of Definition 5 (Table VII)
 //!   and Definition 6 (Table XII).
 //! * [`report`] — plain-text table / CSV rendering used by the harness
@@ -13,11 +15,13 @@ pub mod metric;
 pub mod report;
 pub mod runner;
 pub mod scoring;
+pub mod temporal;
 
 pub use metric::{compute_error, metric_for, ErrorMetric};
 pub use report::TextTable;
 pub use runner::{
-    algorithm_cost_weight, run_benchmark, BenchmarkConfig, BenchmarkResults, ExperimentOutcome,
-    MeasureReuse, Scheduler,
+    algorithm_cost_weight, run_benchmark, BenchmarkConfig, BenchmarkResults, CostModel,
+    ExperimentOutcome, MeasureReuse, Scheduler,
 };
 pub use scoring::{best_counts_per_case, best_counts_per_query};
+pub use temporal::{run_temporal_benchmark, TemporalBenchmarkResults, TemporalOutcome};

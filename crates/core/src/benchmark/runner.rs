@@ -124,10 +124,14 @@ pub enum Scheduler {
     /// *live* pool and remaining-task count — threads released by finished
     /// workers flow to the tail of the queue. Transient oversubscription
     /// is bounded by `threads + workers − 1`. Sub-tasks are handed out in
-    /// **cost order** (static per-algorithm weight × n², largest first —
-    /// see [`algorithm_cost_weight`]) rather than grid order, so the
+    /// **cost order** (largest first) rather than grid order, so the
     /// expensive DER/PrivHRG cells on large datasets start first and the
-    /// queue's tail is made of cheap cells.
+    /// queue's tail is made of cheap cells. The cost key is an online
+    /// per-algorithm EWMA of observed cell times (see [`CostModel`]):
+    /// algorithms without an observation yet rank first (exploration),
+    /// ordered by the static [`algorithm_cost_weight`] seed, and once a
+    /// sub-task of an algorithm completes, its measured time-per-n² takes
+    /// over.
     #[default]
     Elastic,
 }
@@ -251,7 +255,14 @@ impl BenchmarkResults {
 
 /// Derives a deterministic per-cell RNG from the master seed — cells are
 /// independent, so runs are reproducible regardless of thread scheduling.
-fn cell_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize, rep: usize) -> StdRng {
+/// Crate-visible so the temporal runner derives from the same family.
+pub(crate) fn cell_rng(
+    seed: u64,
+    dataset_idx: usize,
+    algo_idx: usize,
+    eps_idx: usize,
+    rep: usize,
+) -> StdRng {
     let mut h = seed ^ 0xA076_1D64_78BD_642F;
     for x in [dataset_idx as u64, algo_idx as u64, eps_idx as u64, rep as u64] {
         h ^= x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
@@ -264,7 +275,12 @@ fn cell_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize, rep:
 /// the `rep = usize::MAX` slot of the cell's derivation family, which no
 /// real repetition can occupy — whichever worker performs the cell's one
 /// measurement, it draws the same bytes.
-fn measure_rng(seed: u64, dataset_idx: usize, algo_idx: usize, eps_idx: usize) -> StdRng {
+pub(crate) fn measure_rng(
+    seed: u64,
+    dataset_idx: usize,
+    algo_idx: usize,
+    eps_idx: usize,
+) -> StdRng {
     cell_rng(seed, dataset_idx, algo_idx, eps_idx, usize::MAX)
 }
 
@@ -428,7 +444,7 @@ fn run_grid_static(
 /// Sub-tasks a worker aims to claim over the run, elastic mode: enough
 /// over-partitioning that the queue's tail still spreads over the pool,
 /// without per-repetition scheduling overhead on wide grids.
-const ELASTIC_TASKS_PER_WORKER: usize = 4;
+pub(crate) const ELASTIC_TASKS_PER_WORKER: usize = 4;
 
 /// Static relative cost weight of one repetition of `algorithm` (matched
 /// by display name), from the Table VIII / Table IX complexity and
@@ -437,12 +453,12 @@ const ELASTIC_TASKS_PER_WORKER: usize = 4;
 /// and the filter/degree mechanisms (TmF, DGG) are the cheapest per cell.
 /// Unknown (user-supplied) algorithms get the middle weight.
 ///
-/// Only *relative order* matters: the elastic scheduler multiplies this by
-/// a node-count factor to decide which (cell, repetition-block) sub-tasks
-/// to hand out first, so the expensive cells start while the pool is full
-/// and the tail the [`crate::par::BudgetLedger`] parallelises is made of cheap cells.
-/// Scheduling only — claim order cannot change any cell's RNG stream or
-/// reduction order, so the CSV bytes are identical to grid-order claiming.
+/// This is the [`CostModel`]'s **cold-start seed**: it only decides claim
+/// order among algorithms that have no observed cell time yet. As soon as
+/// a sub-task of an algorithm completes, the model's EWMA of its measured
+/// time-per-n² replaces the static guess. Scheduling only either way —
+/// claim order cannot change any cell's RNG stream or reduction order, so
+/// the CSV bytes are identical to grid-order claiming.
 pub fn algorithm_cost_weight(name: &str) -> u32 {
     match name {
         "DER" | "PrivHRG" => 16,
@@ -452,13 +468,97 @@ pub fn algorithm_cost_weight(name: &str) -> u32 {
     }
 }
 
-/// The claim-order key of a grid cell: algorithm weight × n², descending
-/// (the quadratic factor matches the dense O(n²) scans that dominate DER
-/// and TmF cells and over-weights large datasets for the rest, which is
-/// the safe direction — "large n first"). Ties keep grid order.
-fn cell_cost(algorithm_name: &str, n: usize) -> u128 {
-    let n = n as u128;
-    algorithm_cost_weight(algorithm_name) as u128 * n.saturating_mul(n).max(1)
+/// EWMA smoothing factor for observed cell times: recent observations get
+/// 30% weight, so the model adapts within a few sub-tasks without letting
+/// one outlier (a cold cache, a descheduled worker) dominate.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Online per-algorithm cost model behind the elastic claim order.
+///
+/// For every algorithm the model keeps an exponentially weighted moving
+/// average of **observed seconds per repetition per n²** across completed
+/// sub-tasks; [`CostModel::claim_key`] scales that back by n² to rank
+/// pending sub-tasks. Until an algorithm has an observation it ranks
+/// *above* every observed one (deterministic exploration-first: one
+/// mispredicted claim is cheaper than running a whole grid on a stale
+/// static guess), ordered among the unobserved by the static
+/// [`algorithm_cost_weight`] seed.
+///
+/// The model is shared across workers behind per-slot mutexes; claim order
+/// therefore depends on real measured times and is **not** deterministic —
+/// which is fine, because it is scheduling only: repetitions keep their
+/// derived RNG streams and the reduction order is fixed, so the CSV is
+/// byte-identical to any other claim order.
+pub struct CostModel {
+    /// Static cold-start weights, one per algorithm index.
+    seeds: Vec<u32>,
+    /// EWMA of observed seconds/rep/n², `None` until first observation.
+    observed: Vec<std::sync::Mutex<Option<f64>>>,
+}
+
+impl CostModel {
+    /// A model over the algorithm roster, seeded from
+    /// [`algorithm_cost_weight`] by display name.
+    pub fn new<'a>(names: impl IntoIterator<Item = &'a str>) -> Self {
+        let seeds: Vec<u32> = names.into_iter().map(algorithm_cost_weight).collect();
+        let observed = seeds.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        CostModel { seeds, observed }
+    }
+
+    /// Folds one completed sub-task — `reps` repetitions of algorithm
+    /// `ai` on an `n`-node dataset in `secs` seconds — into the EWMA.
+    pub fn record(&self, ai: usize, n: usize, reps: usize, secs: f64) {
+        let per = secs / reps.max(1) as f64 / n2(n);
+        if !per.is_finite() {
+            return;
+        }
+        let mut slot = self.observed[ai].lock().expect("cost slot never poisoned");
+        *slot = Some(match *slot {
+            None => per,
+            Some(prev) => EWMA_ALPHA * per + (1.0 - EWMA_ALPHA) * prev,
+        });
+    }
+
+    /// The descending claim key of a sub-task of algorithm `ai` on an
+    /// `n`-node dataset: `(unobserved, cost)`, compared lexicographically
+    /// so unobserved algorithms always outrank observed ones, and within
+    /// each class the larger predicted cost (seed × n² or EWMA × n²) wins.
+    pub fn claim_key(&self, ai: usize, n: usize) -> (bool, f64) {
+        match *self.observed[ai].lock().expect("cost slot never poisoned") {
+            None => (true, self.seeds[ai] as f64 * n2(n)),
+            Some(ewma) => (false, ewma * n2(n)),
+        }
+    }
+}
+
+/// The n² scale factor shared by [`CostModel::record`] and
+/// [`CostModel::claim_key`], clamped away from zero for empty graphs.
+fn n2(n: usize) -> f64 {
+    (n as f64 * n as f64).max(1.0)
+}
+
+/// Pops the index of the pending sub-task with the greatest claim key,
+/// breaking exact key ties toward the smaller `tie` coordinate (grid
+/// order). The pool must be non-empty — [`crate::exec::run_elastic`] hands
+/// out exactly one ticket per sub-task.
+pub(crate) fn pop_costliest<K>(pending: &std::sync::Mutex<Vec<usize>>, key: K) -> usize
+where
+    K: Fn(usize) -> ((bool, f64), (usize, usize)),
+{
+    let mut pool = pending.lock().expect("claim pool never poisoned");
+    let at = pool
+        .iter()
+        .enumerate()
+        .max_by(|&(_, &a), &(_, &b)| {
+            let (ka, ta) = key(a);
+            let (kb, tb) = key(b);
+            // Claim keys are finite by construction, so partial_cmp only
+            // falls through on exact ties, which the grid order settles.
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal).then_with(|| tb.cmp(&ta))
+        })
+        .map(|(i, _)| i)
+        .expect("one ticket per sub-task: pool cannot be empty");
+    pool.swap_remove(at)
 }
 
 /// The elastic scheduler: (cell, repetition-block) sub-tasks claimed from
@@ -492,20 +592,19 @@ fn run_grid_elastic(
             start = end;
         }
     }
-    // Cost-aware claim order: hand out expensive (cell, repetition-block)
-    // sub-tasks first (per-algorithm weight × n², ties in grid order), so
-    // a DER cell on the largest dataset cannot become a serial tail after
-    // the cheap cells drain. Pure scheduling — each sub-task's repetitions
-    // still run on their own derived cell RNG and publish into cell-major
-    // slots reduced in grid order, so the CSV is byte-identical to
-    // grid-order claiming (asserted in `tests/scheduler.rs`).
-    subtasks.sort_by(|a, b| {
-        let key = |&(cell, _): &(usize, std::ops::Range<usize>)| {
-            let (di, ai, _) = tasks[cell];
-            cell_cost(algorithms[ai].name(), datasets[di].1.node_count())
-        };
-        key(b).cmp(&key(a)).then_with(|| (a.0, a.1.start).cmp(&(b.0, b.1.start)))
-    });
+    // Cost-aware claim order: hand out predicted-expensive (cell,
+    // repetition-block) sub-tasks first, so a DER cell on the largest
+    // dataset cannot become a serial tail after the cheap cells drain. The
+    // prediction is the live [`CostModel`]: unobserved algorithms first
+    // (static-seed order), then measured EWMA × n² — each completed
+    // sub-task feeds its wall time back in. Pure scheduling — each
+    // sub-task's repetitions still run on their own derived cell RNG and
+    // publish into cell-major slots reduced in grid order, so the CSV is
+    // byte-identical to grid-order claiming (asserted in
+    // `tests/scheduler.rs`).
+    let model = CostModel::new(algorithms.iter().map(|a| a.name()));
+    let pending: std::sync::Mutex<Vec<usize>> =
+        std::sync::Mutex::new((0..subtasks.len()).collect());
     // One slot per (cell, repetition), cell-major — the reduction below
     // walks them in repetition order no matter who filled them when.
     let rep_slots: Vec<OnceLock<Option<Vec<f64>>>> =
@@ -521,10 +620,18 @@ fn run_grid_elastic(
     // grants that can grow mid-task as other workers release threads
     // (`BudgetLedger::regrant`, polled by `par_collect`) — is the shared
     // execution core `pgb-serve` also runs its request pipeline on.
-    crate::exec::run_elastic(budget, subtasks.len(), |s| {
+    crate::exec::run_elastic(budget, subtasks.len(), |_ticket| {
+        // Tickets are anonymous; each one claims whichever pending
+        // sub-task the cost model currently predicts most expensive.
+        let s = pop_costliest(&pending, |s| {
+            let (cell, range) = &subtasks[s];
+            let (di, ai, _) = tasks[*cell];
+            (model.claim_key(ai, datasets[di].1.node_count()), (*cell, range.start))
+        });
         let (cell, rep_range) = &subtasks[s];
         let (di, ai, ei) = tasks[*cell];
         let (_, graph) = &datasets[di];
+        let started = std::time::Instant::now();
         let shared = (config.reuse == MeasureReuse::PerCell).then(|| {
             measured[*cell]
                 .get_or_init(|| measure_cell(algorithms[ai].as_ref(), graph, config, (di, ai, ei)))
@@ -543,6 +650,7 @@ fn run_grid_elastic(
                 .set(errors)
                 .expect("the ledger hands out each sub-task once");
         }
+        model.record(ai, graph.node_count(), rep_range.len(), started.elapsed().as_secs_f64());
     });
 
     let mut rep_results: Vec<Option<Vec<f64>>> = rep_slots
@@ -998,5 +1106,60 @@ mod tests {
         let tmf = results.error("TmF", "toy", 10.0, Query::EdgeCount).unwrap();
         // TmF controls |E| directly via m̃, so the RE must be small.
         assert!(tmf < 0.05, "TmF |E| error {tmf}");
+    }
+
+    #[test]
+    fn cost_model_cold_start_ranks_by_static_seed() {
+        let model = CostModel::new(["DER", "TmF"]);
+        // Unobserved: the lexicographic (true, seed × n²) key preserves the
+        // static ordering, and unobserved always outranks observed.
+        assert!(model.claim_key(0, 90) > model.claim_key(1, 90));
+        assert!(model.claim_key(1, 90) > model.claim_key(0, 20));
+        model.record(0, 90, 1, 1.0);
+        assert!(!model.claim_key(0, 90).0 && model.claim_key(1, 20).0);
+        assert!(model.claim_key(1, 20) > model.claim_key(0, 90), "unobserved first");
+    }
+
+    #[test]
+    fn cost_model_observations_flip_the_static_order() {
+        // Static seeds say DER ≫ TmF; inject measurements saying the
+        // opposite and the claim order must follow the evidence.
+        let model = CostModel::new(["DER", "TmF"]);
+        model.record(0, 100, 1, 0.001); // DER measured cheap
+        model.record(1, 100, 1, 1.0); // TmF measured expensive
+        assert!(model.claim_key(1, 100) > model.claim_key(0, 100));
+        // And the EWMA tracks further observations with α = 0.3.
+        model.record(1, 100, 1, 2.0);
+        let expected = 0.3 * (2.0 / 1e4) + 0.7 * (1.0 / 1e4);
+        let (_, cost) = model.claim_key(1, 100);
+        assert!((cost - expected * 1e4).abs() < 1e-12, "{cost} vs {expected}");
+    }
+
+    #[test]
+    fn cost_model_normalises_per_rep_and_per_n2() {
+        // 4 reps on 10 nodes in 0.4 s and 1 rep on 20 nodes in 0.4 s are
+        // the same 0.001 seconds/rep/n², so they predict the same cost on
+        // any common dataset size.
+        let model = CostModel::new(["A", "B"]);
+        model.record(0, 10, 4, 0.4);
+        model.record(1, 20, 1, 0.4);
+        let (_, a) = model.claim_key(0, 20);
+        let (_, b) = model.claim_key(1, 20);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        // Degenerate inputs never poison the model.
+        model.record(0, 0, 0, 0.0);
+        model.record(0, 10, 1, f64::INFINITY);
+        assert!(model.claim_key(0, 10).1.is_finite());
+    }
+
+    #[test]
+    fn pop_costliest_orders_and_breaks_ties_in_grid_order() {
+        use std::sync::Mutex;
+        let keys = [((false, 2.0), (1, 0)), ((true, 0.5), (2, 0)), ((false, 2.0), (0, 0))];
+        let pending = Mutex::new(vec![0, 1, 2]);
+        let pop = |pending: &Mutex<Vec<usize>>| pop_costliest(pending, |s| keys[s]);
+        assert_eq!(pop(&pending), 1, "unobserved outranks any observed cost");
+        assert_eq!(pop(&pending), 2, "exact ties resolve toward grid order");
+        assert_eq!(pop(&pending), 0);
     }
 }

@@ -1,0 +1,425 @@
+//! The temporal benchmark grid: [`TemporalGenerator`]s × snapshot
+//! sequences × ε, with a **window** dimension the static grid never had.
+//!
+//! Each repetition generates one synthetic snapshot sequence
+//! ([`TemporalGenerator::generate`] — per-window budget shares, per-window
+//! derived streams) and evaluates the query suite on every window through
+//! [`pgb_queries::temporal::suite_drift`], so the shared-intermediate
+//! reuse of `evaluate_all` applies per snapshot. Per query the grid then
+//! emits:
+//!
+//! * one row per window — the usual true-vs-synthetic error on that
+//!   window's snapshot pair;
+//! * one `drift` row — how faithfully the synthetic sequence reproduces
+//!   the *evolution* of the true sequence: with `t_w`/`s_w` the true and
+//!   synthetic values on window `w` and `d(·,·)` the query's Table-IV
+//!   metric, the drift error is `mean_w |d(t_w, t_{w+1}) − d(s_w,
+//!   s_{w+1})|` over adjacent windows (0 for single-window grids).
+//!
+//! Execution mirrors the static runner contract for contract: the same
+//! derived [`cell_rng`] family keyed by (dataset, algorithm, ε, rep), the
+//! same per-(cell, rep) `OnceLock` slots reduced in repetition order, the
+//! same static/elastic scheduler pair (the elastic path claims through the
+//! shared [`CostModel`]), and the same complete-grid `runs = 0` guarantee.
+//! The CSV is byte-identical across thread budgets and schedulers.
+
+use crate::benchmark::metric::{compute_error, metric_for, ErrorMetric};
+use crate::benchmark::runner::{
+    cell_rng, measure_rng, pop_costliest, BenchmarkConfig, CostModel, MeasureReuse, Scheduler,
+    ELASTIC_TASKS_PER_WORKER,
+};
+use crate::temporal::{TemporalGenerator, TemporalSynthesis};
+use pgb_graph::temporal::SnapshotSequence;
+use pgb_queries::{suite_drift, suite_drift_sequence, Query, QueryValue};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// One averaged temporal-benchmark cell: an (algorithm, dataset, ε,
+/// window, query) tuple. `window == None` is the query's drift row.
+#[derive(Clone, Debug)]
+pub struct TemporalOutcome {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Privacy budget ε (the *total* grant; windows split it).
+    pub epsilon: f64,
+    /// Window index, or `None` for the drift row.
+    pub window: Option<usize>,
+    /// The evaluated query.
+    pub query: Query,
+    /// The metric the error is expressed in (lower is better). Drift rows
+    /// report the mean absolute difference of that metric across adjacent
+    /// windows.
+    pub metric: ErrorMetric,
+    /// Mean error over the repetitions; `NaN` when every repetition's
+    /// generation failed (`runs == 0`).
+    pub mean_error: f64,
+    /// Number of repetitions averaged.
+    pub runs: usize,
+}
+
+/// All outcomes of a temporal benchmark run, in a fixed complete-grid
+/// layout: dataset-major, then algorithm, then ε, then window (`0..W`
+/// followed by the drift pseudo-window), then query.
+#[derive(Clone, Debug, Default)]
+pub struct TemporalBenchmarkResults {
+    /// One entry per (dataset, algorithm, ε, window | drift, query).
+    pub outcomes: Vec<TemporalOutcome>,
+    /// Algorithm names in suite order.
+    pub algorithms: Vec<String>,
+    /// Dataset names in input order.
+    pub datasets: Vec<String>,
+    /// Per-dataset window counts (datasets may differ).
+    pub window_counts: Vec<usize>,
+    /// The swept ε values.
+    pub epsilons: Vec<f64>,
+    /// The evaluated queries.
+    pub queries: Vec<Query>,
+}
+
+impl TemporalBenchmarkResults {
+    /// Renders all outcomes as CSV
+    /// (`algorithm,dataset,epsilon,window,query,metric,mean_error,runs`);
+    /// drift rows carry `drift` in the window column.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("algorithm,dataset,epsilon,window,query,metric,mean_error,runs\n");
+        for o in &self.outcomes {
+            let window = match o.window {
+                Some(w) => w.to_string(),
+                None => "drift".to_string(),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.6e},{}\n",
+                o.algorithm,
+                o.dataset,
+                o.epsilon,
+                window,
+                o.query.symbol(),
+                o.metric.name(),
+                o.mean_error,
+                o.runs
+            ));
+        }
+        out
+    }
+}
+
+/// The true per-window suite values and true drift series of one dataset.
+struct TrueSequence {
+    /// `per_window[w][qi]`.
+    per_window: Vec<Vec<QueryValue>>,
+    /// `drift[qi][pair]` = `d(t_pair, t_pair+1)` for adjacent windows.
+    drift: Vec<Vec<f64>>,
+}
+
+/// Adjacent-window metric series of a value sequence:
+/// `out[qi][w] = d(values[w][qi], values[w+1][qi])`.
+fn drift_series(queries: &[Query], values: &[Vec<QueryValue>]) -> Vec<Vec<f64>> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(qi, &q)| {
+            values.windows(2).map(|pair| compute_error(q, &pair[0][qi], &pair[1][qi])).collect()
+        })
+        .collect()
+}
+
+/// One repetition of a temporal cell: generate the synthetic sequence on
+/// the rep's derived stream (or re-`sample` the cell's shared measurement),
+/// evaluate every window through the drift sweep, and return the flattened
+/// per-row errors (window-major `w × Q`, then the `Q` drift entries).
+/// `None` when generation failed — the repetition is skipped, not averaged.
+fn run_temporal_rep(
+    algorithm: &TemporalGenerator,
+    seq: &SnapshotSequence,
+    truth: &TrueSequence,
+    config: &BenchmarkConfig,
+    (di, ai, ei): (usize, usize, usize),
+    rep: usize,
+    shared: Option<&Option<TemporalSynthesis>>,
+) -> Option<Vec<f64>> {
+    let mut rng = cell_rng(config.seed, di, ai, ei, rep);
+    let graphs = match shared {
+        None => algorithm.generate(seq, config.epsilons[ei], &mut rng).ok()?,
+        Some(Some(measured)) => measured.sample(&mut rng),
+        Some(None) => return None,
+    };
+    let synth = suite_drift(&graphs, &config.queries, &config.query_params, &mut rng);
+    let windows = graphs.len();
+    let q = config.queries.len();
+    let mut errors = Vec::with_capacity((windows + 1) * q);
+    for (wv, tv) in synth.per_window.iter().zip(&truth.per_window) {
+        for (qi, &query) in config.queries.iter().enumerate() {
+            errors.push(compute_error(query, &tv[qi], &wv[qi]));
+        }
+    }
+    let synth_drift = drift_series(&config.queries, &synth.per_window);
+    for (series, pairs) in synth_drift.iter().zip(&truth.drift) {
+        let e = if pairs.is_empty() {
+            0.0
+        } else {
+            pairs.iter().zip(series).map(|(t, s)| (t - s).abs()).sum::<f64>() / pairs.len() as f64
+        };
+        errors.push(e);
+    }
+    Some(errors)
+}
+
+/// Folds a temporal cell's per-repetition error vectors — in repetition
+/// order — into its `(W + 1) × Q` outcome rows (windows then drift).
+fn reduce_temporal_cell(
+    algorithm: &str,
+    dataset: &str,
+    epsilon: f64,
+    windows: usize,
+    config: &BenchmarkConfig,
+    rep_errors: impl Iterator<Item = Option<Vec<f64>>>,
+) -> Vec<TemporalOutcome> {
+    let q = config.queries.len();
+    let rows = (windows + 1) * q;
+    let mut sums = vec![0.0f64; rows];
+    let mut runs = 0usize;
+    for errors in rep_errors.flatten() {
+        debug_assert_eq!(errors.len(), rows);
+        for (sum, e) in sums.iter_mut().zip(&errors) {
+            *sum += e;
+        }
+        runs += 1;
+    }
+    (0..rows)
+        .map(|row| {
+            let (slot, qi) = (row / q, row % q);
+            let query = config.queries[qi];
+            TemporalOutcome {
+                algorithm: algorithm.to_string(),
+                dataset: dataset.to_string(),
+                epsilon,
+                window: (slot < windows).then_some(slot),
+                query,
+                metric: metric_for(query),
+                mean_error: if runs == 0 { f64::NAN } else { sums[row] / runs as f64 },
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// The cell's one shared temporal measurement under
+/// [`MeasureReuse::PerCell`], on the cell's dedicated stream.
+fn measure_temporal_cell(
+    algorithm: &TemporalGenerator,
+    seq: &SnapshotSequence,
+    config: &BenchmarkConfig,
+    (di, ai, ei): (usize, usize, usize),
+) -> Option<TemporalSynthesis> {
+    let mut rng = measure_rng(config.seed, di, ai, ei);
+    algorithm.measure(seq, config.epsilons[ei], &mut rng).ok()
+}
+
+/// Runs the temporal benchmark grid: every algorithm × snapshot sequence ×
+/// ε, `config.repetitions` synthetic sequences per cell, one outcome row
+/// per window plus a drift row per query. All the static runner's
+/// execution contracts carry over — derived per-cell streams, fixed
+/// reduction order, both schedulers, per-cell measurement reuse, the
+/// complete-grid `runs = 0` guarantee — so the CSV is byte-identical
+/// across thread budgets and schedulers.
+pub fn run_temporal_benchmark(
+    algorithms: &[TemporalGenerator],
+    datasets: &[(String, SnapshotSequence)],
+    config: &BenchmarkConfig,
+) -> TemporalBenchmarkResults {
+    let budget =
+        if config.threads == 0 { crate::par::available_parallelism() } else { config.threads };
+    // True per-window values and drift series, once per dataset on its own
+    // derived stream (the `ai = usize::MAX` slot no real cell occupies),
+    // under the full ambient budget — no cell workers are running yet.
+    let truths: Vec<TrueSequence> = crate::par::with_parallelism(budget, || {
+        datasets
+            .iter()
+            .enumerate()
+            .map(|(di, (_, seq))| {
+                let mut rng = cell_rng(config.seed, di, usize::MAX, 0, 0);
+                let sweep =
+                    suite_drift_sequence(seq, &config.queries, &config.query_params, &mut rng);
+                let drift = drift_series(&config.queries, &sweep.per_window);
+                TrueSequence { per_window: sweep.per_window, drift }
+            })
+            .collect()
+    });
+
+    // Task grid: (dataset, algorithm, epsilon), in outcome order.
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    for di in 0..datasets.len() {
+        for ai in 0..algorithms.len() {
+            for ei in 0..config.epsilons.len() {
+                tasks.push((di, ai, ei));
+            }
+        }
+    }
+    let outcomes = match config.sched {
+        Scheduler::Static => {
+            run_temporal_static(algorithms, datasets, config, &truths, &tasks, budget)
+        }
+        Scheduler::Elastic => {
+            run_temporal_elastic(algorithms, datasets, config, &truths, &tasks, budget)
+        }
+    };
+    TemporalBenchmarkResults {
+        outcomes,
+        algorithms: algorithms.iter().map(|a| a.name().to_string()).collect(),
+        datasets: datasets.iter().map(|(n, _)| n.clone()).collect(),
+        window_counts: datasets.iter().map(|(_, s)| s.window_count()).collect(),
+        epsilons: config.epsilons.clone(),
+        queries: config.queries.clone(),
+    }
+}
+
+/// The static scheduler over temporal cells: one task per cell, intra-cell
+/// budget split once at spawn — the exact shape of the static grid path.
+fn run_temporal_static(
+    algorithms: &[TemporalGenerator],
+    datasets: &[(String, SnapshotSequence)],
+    config: &BenchmarkConfig,
+    truths: &[TrueSequence],
+    tasks: &[(usize, usize, usize)],
+    budget: usize,
+) -> Vec<TemporalOutcome> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Vec<TemporalOutcome>>> =
+        (0..tasks.len()).map(|_| OnceLock::new()).collect();
+    let workers = budget.min(tasks.len().max(1));
+    let intra_threads = budget / workers;
+    let intra_extra = budget % workers;
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let intra = intra_threads + usize::from(w < intra_extra);
+            let (next, slots) = (&next, &slots);
+            scope.spawn(move || {
+                crate::par::with_parallelism(intra, || loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let (di, ai, ei) = tasks[t];
+                    let (dataset_name, seq) = &datasets[di];
+                    let algorithm = &algorithms[ai];
+                    let shared = (config.reuse == MeasureReuse::PerCell)
+                        .then(|| measure_temporal_cell(algorithm, seq, config, (di, ai, ei)));
+                    let local = reduce_temporal_cell(
+                        algorithm.name(),
+                        dataset_name,
+                        config.epsilons[ei],
+                        seq.window_count(),
+                        config,
+                        (0..config.repetitions.max(1)).map(|rep| {
+                            run_temporal_rep(
+                                algorithm,
+                                seq,
+                                &truths[di],
+                                config,
+                                (di, ai, ei),
+                                rep,
+                                shared.as_ref(),
+                            )
+                        }),
+                    );
+                    slots[t].set(local).expect("the atomic cursor hands out each task once");
+                });
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("every claimed task publishes its slot"))
+        .collect()
+}
+
+/// The elastic scheduler over temporal cells: (cell, repetition-block)
+/// sub-tasks claimed through the shared [`CostModel`] pool, per-rep
+/// `OnceLock` slots reduced in repetition order — the temporal mirror of
+/// the static grid's elastic path.
+fn run_temporal_elastic(
+    algorithms: &[TemporalGenerator],
+    datasets: &[(String, SnapshotSequence)],
+    config: &BenchmarkConfig,
+    truths: &[TrueSequence],
+    tasks: &[(usize, usize, usize)],
+    budget: usize,
+) -> Vec<TemporalOutcome> {
+    let reps = config.repetitions.max(1);
+    let cells = tasks.len();
+    let worker_cap = budget.min(cells.saturating_mul(reps)).max(1);
+    let blocks_per_cell =
+        (worker_cap * ELASTIC_TASKS_PER_WORKER).div_ceil(cells.max(1)).clamp(1, reps);
+    let block = reps.div_ceil(blocks_per_cell);
+    let mut subtasks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for cell in 0..cells {
+        let mut start = 0;
+        while start < reps {
+            let end = (start + block).min(reps);
+            subtasks.push((cell, start..end));
+            start = end;
+        }
+    }
+    let model = CostModel::new(algorithms.iter().map(|a| a.name()));
+    let pending: std::sync::Mutex<Vec<usize>> =
+        std::sync::Mutex::new((0..subtasks.len()).collect());
+    let rep_slots: Vec<OnceLock<Option<Vec<f64>>>> =
+        (0..cells * reps).map(|_| OnceLock::new()).collect();
+    let measured: Vec<OnceLock<Option<TemporalSynthesis>>> =
+        (0..cells).map(|_| OnceLock::new()).collect();
+
+    crate::exec::run_elastic(budget, subtasks.len(), |_ticket| {
+        let s = pop_costliest(&pending, |s| {
+            let (cell, range) = &subtasks[s];
+            let (di, ai, _) = tasks[*cell];
+            (model.claim_key(ai, datasets[di].1.node_count()), (*cell, range.start))
+        });
+        let (cell, rep_range) = &subtasks[s];
+        let (di, ai, ei) = tasks[*cell];
+        let (_, seq) = &datasets[di];
+        let started = std::time::Instant::now();
+        let shared = (config.reuse == MeasureReuse::PerCell).then(|| {
+            measured[*cell]
+                .get_or_init(|| measure_temporal_cell(&algorithms[ai], seq, config, (di, ai, ei)))
+        });
+        for rep in rep_range.clone() {
+            let errors = run_temporal_rep(
+                &algorithms[ai],
+                seq,
+                &truths[di],
+                config,
+                (di, ai, ei),
+                rep,
+                shared,
+            );
+            rep_slots[*cell * reps + rep]
+                .set(errors)
+                .expect("the ledger hands out each sub-task once");
+        }
+        model.record(ai, seq.node_count(), rep_range.len(), started.elapsed().as_secs_f64());
+    });
+
+    let mut rep_results: Vec<Option<Vec<f64>>> = rep_slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every claimed sub-task publishes its repetitions"))
+        .collect();
+    tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(t, &(di, ai, ei))| {
+            reduce_temporal_cell(
+                algorithms[ai].name(),
+                &datasets[di].0,
+                config.epsilons[ei],
+                datasets[di].1.window_count(),
+                config,
+                rep_results[t * reps..(t + 1) * reps].iter_mut().map(std::mem::take),
+            )
+        })
+        .collect()
+}

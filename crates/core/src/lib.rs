@@ -42,6 +42,7 @@ pub mod generator;
 pub mod privgraph;
 pub mod privhrg;
 pub mod privskg;
+pub mod temporal;
 pub mod tmf;
 
 /// The deterministic parallelism layer (chunked index ranges, derived RNG
@@ -59,6 +60,7 @@ pub use generator::{GenerateError, GraphGenerator, PrivateSynthesis};
 pub use privgraph::{PrivGraph, PrivGraphSynthesis};
 pub use privhrg::{HrgSynthesis, PrivHrg};
 pub use privskg::{PrivSkg, SkgSynthesis};
+pub use temporal::{temporal_suite, TemporalGenerator, TemporalSynthesis};
 pub use tmf::{TmF, TmfSynthesis};
 
 /// The standard PGB algorithm suite: the six mechanisms of Table V, boxed

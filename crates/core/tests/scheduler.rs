@@ -5,8 +5,9 @@
 //!   byte-identical CSV across `Scheduler::{Static, Elastic}` × threads
 //!   {1, 2, 8, 0}, and
 //! * the elastic scheduler claims (cell, repetition-block) sub-tasks in
-//!   descending static-cost order (algorithm weight × n²) while emitting
-//!   the exact same grid as grid-order claiming, and
+//!   descending predicted-cost order — unobserved algorithms first on the
+//!   static-seed key, observed ones on their EWMA of measured cell times —
+//!   while emitting the exact same grid as grid-order claiming, and
 //! * [`BudgetLedger`] invariants survive arbitrary claim/release
 //!   interleavings: outstanding grants never exceed the oversubscription
 //!   bound `budget + workers − 1`, pooled accounting is exact
@@ -131,11 +132,16 @@ impl GraphGenerator for Recording {
 
 #[test]
 fn elastic_claims_expensive_cells_first_without_changing_output() {
-    // Cost key: weight(algorithm) × n². With weights DER = 16, TmF = 1 and
-    // datasets of 20 vs 90 nodes the descending order *interleaves* the
-    // algorithms — DER/90 (129600) > TmF/90 (8100) > DER/20 (6400) >
-    // TmF/20 (400) — which is exactly what distinguishes a genuine cost
-    // sort from "all of algorithm A first" or plain grid order.
+    // The cost model starts cold: every algorithm is unobserved and ranks
+    // on the static seed × n². With seeds DER = 16, TmF = 1 and datasets
+    // of 20 vs 90 nodes, the first claim must be DER/90 (129600) — and
+    // once that sub-task completes, DER is *observed*, so the second claim
+    // must be the costliest still-unobserved one, TmF/90 (8100), even
+    // though DER/20 (6400) would come next on pure seed order too. From
+    // the third claim on, both algorithms rank on their measured EWMA —
+    // real wall time, deliberately not deterministic — so the tail is
+    // asserted as a set. (The deterministic EWMA ordering itself is unit
+    // tested on `CostModel` directly, with injected observations.)
     assert!(algorithm_cost_weight("DER") > algorithm_cost_weight("TmF"));
     let log = Arc::new(Mutex::new(Vec::new()));
     let algorithms: Vec<Box<dyn GraphGenerator>> = vec![
@@ -159,10 +165,20 @@ fn elastic_claims_expensive_cells_first_without_changing_output() {
     let results = run_benchmark(&algorithms, &datasets, &config);
     let claimed: Vec<(String, usize)> =
         log.lock().unwrap().iter().map(|(name, n, _)| (name.clone(), *n)).collect();
-    let expected: Vec<(String, usize)> = [("DER", 90), ("TmF", 90), ("DER", 20), ("TmF", 20)]
-        .map(|(s, n)| (s.to_string(), n))
-        .to_vec();
-    assert_eq!(claimed, expected, "sub-tasks must be claimed in descending cost order");
+    assert_eq!(claimed.len(), 4, "every cell claimed exactly once: {claimed:?}");
+    assert_eq!(claimed[0], ("DER".to_string(), 90), "cold start: largest seed × n² first");
+    assert_eq!(
+        claimed[1],
+        ("TmF".to_string(), 90),
+        "exploration: unobserved TmF must outrank already-observed DER"
+    );
+    let mut tail: Vec<(String, usize)> = claimed[2..].to_vec();
+    tail.sort();
+    assert_eq!(
+        tail,
+        vec![("DER".to_string(), 20), ("TmF".to_string(), 20)],
+        "the observed tail is EWMA-ordered (time-dependent) but complete"
+    );
 
     // Scheduling only: the emitted grid is identical to grid-order claiming
     // (the static scheduler) at any thread count.

@@ -25,6 +25,7 @@ pub mod financial;
 pub mod p2p;
 pub mod roadnet;
 pub mod social;
+pub mod temporal;
 
 use pgb_graph::Graph;
 use pgb_models::{barabasi_albert, erdos_renyi_gnp};

@@ -1,0 +1,197 @@
+//! Seeded synthetic **temporal** datasets: timestamped event logs for the
+//! temporal scenario axis.
+//!
+//! There is no offline temporal graph in the paper's Table VI, so the
+//! temporal benchmark ships a deterministic stand-in: a Barabási–Albert
+//! growth process replayed as an event log. Each arriving node attaches to
+//! `m` earlier nodes by preferential attachment, and the clock between
+//! arrivals advances by `1 + Geometric(1/2)` ticks, so inter-event times
+//! are irregular and window boundaries cut the growth process at
+//! non-trivial points.
+//!
+//! ```
+//! use pgb_datasets::temporal::TemporalDataset;
+//!
+//! let events = TemporalDataset::BaGrowth.events(0);
+//! let seq = events.snapshots(4).unwrap();
+//! assert_eq!(seq.window_count(), 4);
+//! assert_eq!(seq.node_count(), 600);
+//! ```
+
+use pgb_graph::temporal::{SnapshotSequence, TemporalEdge};
+use pgb_graph::{GraphError, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A timestamped edge log over a fixed node space, ready to be windowed
+/// into a [`SnapshotSequence`].
+#[derive(Clone, Debug)]
+pub struct TemporalEvents {
+    /// Number of nodes in the shared node space.
+    pub n: usize,
+    /// The event log, in arrival order (timestamps non-decreasing).
+    pub events: Vec<TemporalEdge>,
+}
+
+impl TemporalEvents {
+    /// Windows the log into `windows` equal-width snapshots.
+    pub fn snapshots(&self, windows: usize) -> Result<SnapshotSequence, GraphError> {
+        SnapshotSequence::build(self.n, &self.events, windows)
+    }
+}
+
+/// The temporal datasets of the benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TemporalDataset {
+    /// BA growth, 600 nodes, m = 3 — the small/CI-scale log.
+    BaGrowth,
+    /// BA growth, 2400 nodes, m = 4 — the larger harness-scale log.
+    BaGrowthLarge,
+}
+
+impl TemporalDataset {
+    /// All temporal datasets, small first.
+    pub const ALL: [TemporalDataset; 2] =
+        [TemporalDataset::BaGrowth, TemporalDataset::BaGrowthLarge];
+
+    /// Display name used in the temporal CSV's dataset column.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TemporalDataset::BaGrowth => "BA-growth",
+            TemporalDataset::BaGrowthLarge => "BA-growth-large",
+        }
+    }
+
+    /// Node count of the grown graph.
+    pub fn nodes(&self) -> usize {
+        match self {
+            TemporalDataset::BaGrowth => 600,
+            TemporalDataset::BaGrowthLarge => 2_400,
+        }
+    }
+
+    /// Attachment parameter `m` of the growth process.
+    pub fn attachment(&self) -> usize {
+        match self {
+            TemporalDataset::BaGrowth => 3,
+            TemporalDataset::BaGrowthLarge => 4,
+        }
+    }
+
+    /// Generates the event log deterministically from `seed`. Mirrors
+    /// [`crate::Dataset::generate`]'s seed mixing, with tags offset by 101
+    /// so temporal streams never collide with the static datasets'.
+    pub fn events(&self, seed: u64) -> TemporalEvents {
+        let tag = *self as u64 + 101;
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag));
+        ba_growth_events(self.nodes(), self.attachment(), &mut rng)
+    }
+}
+
+/// A Barabási–Albert growth process recorded as a timestamped event log.
+///
+/// Nodes `0..m` form the seed clique's hub set; node `m` arrives first and
+/// connects to all of them. Every later arrival `v` draws `m` distinct
+/// targets by preferential attachment (uniform over the repeated-endpoints
+/// vector, so probability ∝ degree), emitting its edges in draw order at
+/// the arrival's timestamp. The clock starts at 0 and advances by
+/// `1 + Geometric(1/2)` between arrivals.
+pub fn ba_growth_events(n: usize, m: usize, rng: &mut StdRng) -> TemporalEvents {
+    assert!(m >= 1, "attachment parameter m must be at least 1");
+    assert!(n > m, "BA growth needs more than m nodes, got n = {n}, m = {m}");
+    // Every edge endpoint appears once per incident edge; uniform draws
+    // from this vector are degree-proportional.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * (n - m));
+    let mut events = Vec::with_capacity(m * (n - m));
+    let mut t: u64 = 0;
+    for v in m..n {
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        if v == m {
+            // First arrival: no degrees exist yet — connect to all seeds.
+            targets.extend(0..m as NodeId);
+        } else {
+            while targets.len() < m {
+                let pick = endpoints[rng.gen_range(0..endpoints.len())];
+                if !targets.contains(&pick) {
+                    targets.push(pick);
+                }
+            }
+        }
+        for &u in &targets {
+            events.push((v as NodeId, u, t));
+            endpoints.push(v as NodeId);
+            endpoints.push(u);
+        }
+        // 1 + Geometric(1/2): at least one tick, fair-coin tail.
+        t += 1;
+        while rng.gen_bool(0.5) {
+            t += 1;
+        }
+    }
+    TemporalEvents { n, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_deterministic() {
+        let a = TemporalDataset::BaGrowth.events(7);
+        let b = TemporalDataset::BaGrowth.events(7);
+        assert_eq!(a.events, b.events);
+        let c = TemporalDataset::BaGrowth.events(8);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn edge_count_and_node_space_match_ba() {
+        for d in TemporalDataset::ALL {
+            let ev = d.events(0);
+            let (n, m) = (d.nodes(), d.attachment());
+            assert_eq!(ev.n, n, "{}", d.name());
+            assert_eq!(ev.events.len(), m * (n - m), "{}", d.name());
+            let seq = ev.snapshots(1).unwrap();
+            assert_eq!(seq.node_count(), n);
+            // No duplicate or self-loop edges in a growth process: the CSR
+            // union keeps every event.
+            assert_eq!(seq.snapshot(0).edge_count(), m * (n - m), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing_per_arrival() {
+        let ev = TemporalDataset::BaGrowth.events(3);
+        let m = TemporalDataset::BaGrowth.attachment();
+        for pair in ev.events.chunks(m).collect::<Vec<_>>().windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(a.iter().all(|e| e.2 == a[0].2), "one timestamp per arrival");
+            assert!(b[0].2 > a[0].2, "clock advances by at least one tick");
+        }
+    }
+
+    #[test]
+    fn windows_split_growth_into_growing_prefixes() {
+        let seq = TemporalDataset::BaGrowth.events(0).snapshots(4).unwrap();
+        assert_eq!(seq.window_count(), 4);
+        for w in 0..4 {
+            assert!(seq.snapshot(w).edge_count() > 0, "window {w} non-trivial");
+        }
+    }
+
+    #[test]
+    fn first_arrival_connects_to_all_seeds() {
+        let ev = ba_growth_events(10, 3, &mut StdRng::seed_from_u64(0));
+        assert_eq!(&ev.events[..3], &[(3, 0, 0), (3, 1, 0), (3, 2, 0)]);
+    }
+
+    #[test]
+    fn temporal_tags_decorrelate_from_static_datasets() {
+        // Same user seed, different streams: the +101 tag offset keeps the
+        // temporal logs independent of every static dataset's RNG.
+        let ev = TemporalDataset::BaGrowth.events(0);
+        let ev2 = TemporalDataset::BaGrowthLarge.events(0);
+        assert_ne!(ev.events[..30], ev2.events[..30]);
+    }
+}

@@ -115,8 +115,9 @@ pub struct Budget {
     spent: f64,
 }
 
-/// Slack used when comparing accumulated floating-point ε spends.
-const EPS_SLACK: f64 = 1e-9;
+/// Slack used when comparing accumulated floating-point ε spends (shared
+/// with the sliding-window composition in [`crate::window`]).
+pub(crate) const EPS_SLACK: f64 = 1e-9;
 
 impl Budget {
     /// A budget with `total` ε. Fails unless `0 < total < ∞`.

@@ -15,6 +15,9 @@
 //! * [`budget`] — ε/δ privacy parameters, sequential-composition budget
 //!   accounting, and the labelled [`BudgetAccountant`] that mechanisms'
 //!   measure phases register their splits against.
+//! * [`window`] — sliding-window composition for temporal releases: a
+//!   per-window ε split ([`WindowComposition`]) whose spends are checked
+//!   against both the window share and the overall grant.
 //! * [`testing`] — statistical assertion helpers (moment checks with
 //!   standard-error tolerances, Pearson χ²) the mechanism tests verify
 //!   their closed forms with.
@@ -41,6 +44,7 @@ pub mod laplace;
 pub mod randomized_response;
 pub mod sensitivity;
 pub mod testing;
+pub mod window;
 
 pub use budget::{Budget, BudgetAccountant, BudgetError, PrivacyParams};
 pub use exponential::exponential_mechanism;
@@ -48,3 +52,4 @@ pub use geometric::{geometric_mechanism, sample_two_sided_geometric};
 pub use laplace::{laplace_mechanism, sample_laplace};
 pub use randomized_response::{randomized_response, rr_flip_probability, rr_keep_probability};
 pub use sensitivity::{smooth_laplace_mechanism, smooth_sensitivity, SmoothParams};
+pub use window::WindowComposition;

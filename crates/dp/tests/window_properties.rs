@@ -1,0 +1,81 @@
+//! Property-based tests for sliding-window budget composition: no
+//! interleaving of spends across windows can overdraw a window share or the
+//! overall grant, failed spends mutate nothing, and draining every window
+//! consumes the grant exactly (up to the accountant's FP slack).
+
+use pgb_dp::window::WindowComposition;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn interleaved_spends_never_overdraw(
+        total in 0.01f64..10.0,
+        weights in proptest::collection::vec(0.1f64..10.0, 1..6),
+        // (window selector, fraction of the window share to request)
+        spends in proptest::collection::vec((0usize..6, 0.01f64..0.9), 1..40),
+    ) {
+        let mut comp = WindowComposition::weighted(total, &weights).unwrap();
+        for (sel, frac) in spends {
+            let w = sel % weights.len();
+            let _ = comp.spend(w, "step", comp.share(w) * frac); // may fail
+            // Neither level is ever overdrawn, whatever the interleaving.
+            prop_assert!(comp.spent() <= comp.total() + 1e-9);
+            for w in 0..comp.windows() {
+                prop_assert!(comp.window_spent(w) <= comp.share(w) + 1e-9);
+            }
+        }
+        // The labelled ledger accounts for every accepted spend exactly.
+        let entry_sum: f64 = comp.entries().iter().map(|&(_, e)| e).sum();
+        prop_assert_eq!(entry_sum.to_bits(), comp.spent().to_bits());
+    }
+
+    #[test]
+    fn failed_spends_mutate_nothing(
+        total in 0.01f64..10.0,
+        windows in 1usize..6,
+    ) {
+        let mut comp = WindowComposition::even(total, windows).unwrap();
+        let before_spent = comp.spent();
+        let before_entries = comp.entries().len();
+        // Over a window share (but possibly within the grant): must fail
+        // without moving anything.
+        prop_assert!(comp.spend(0, "over", comp.share(0) * 1.5).is_err());
+        prop_assert_eq!(comp.spent().to_bits(), before_spent.to_bits());
+        prop_assert_eq!(comp.entries().len(), before_entries);
+        prop_assert_eq!(comp.window_spent(0), 0.0);
+    }
+
+    #[test]
+    fn draining_all_windows_consumes_the_grant(
+        total in 0.01f64..10.0,
+        weights in proptest::collection::vec(0.1f64..10.0, 1..8),
+    ) {
+        let mut comp = WindowComposition::weighted(total, &weights).unwrap();
+        let drained: f64 = (0..comp.windows())
+            .map(|w| comp.spend_window_remaining(w, "window measure"))
+            .sum();
+        // Σ window spends ≡ grant: the shares sum to the total by the
+        // split arithmetic, and the drain clamps to the grant remainder,
+        // so nothing is left over (and nothing was overdrawn).
+        prop_assert!((drained - total).abs() < 1e-9, "drained {drained} vs {total}");
+        prop_assert!(comp.remaining() < 1e-9);
+        prop_assert!(comp.spent() <= comp.total() + 1e-9);
+    }
+
+    #[test]
+    fn partial_spend_then_drain_still_respects_shares(
+        total in 0.1f64..10.0,
+        windows in 2usize..6,
+        frac in 0.1f64..0.8,
+    ) {
+        let mut comp = WindowComposition::even(total, windows).unwrap();
+        comp.spend(0, "partial", comp.share(0) * frac).unwrap();
+        for w in 0..windows {
+            comp.spend_window_remaining(w, "drain");
+        }
+        prop_assert!((comp.spent() - total).abs() < 1e-9);
+        for w in 0..windows {
+            prop_assert!(comp.window_spent(w) <= comp.share(w) + 1e-9);
+        }
+    }
+}

@@ -35,12 +35,14 @@ pub mod error;
 pub mod graph;
 pub mod io;
 pub mod matrix;
+pub mod temporal;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use matrix::BitMatrix;
+pub use temporal::{SnapshotSequence, TemporalEdge, Timestamp};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

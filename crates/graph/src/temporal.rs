@@ -1,0 +1,240 @@
+//! Timestamped edges and per-window CSR snapshots.
+//!
+//! The temporal scenario axis models a longitudinal publication setting:
+//! interactions arrive as `(u, v, t)` events over a shared node space, and
+//! the data curator re-releases a synthetic graph once per time window. The
+//! substrate for that is [`SnapshotSequence`] — the event log partitioned
+//! into `W` disjoint, equal-width windows over `[t_min, t_max]`, each
+//! window materialised as an ordinary immutable [`Graph`] via the streaming
+//! counting-sort builder ([`GraphBuilder::build_streaming`]). Everything
+//! downstream (mechanisms, the query suite, the runner) then works
+//! per-snapshot with the machinery it already has for static graphs.
+//!
+//! Windowing semantics:
+//!
+//! * windows are **left-aligned and equal-width**: with span
+//!   `s = t_max − t_min + 1` the width is `⌈s / W⌉`, so trailing windows
+//!   may be empty but every event falls in exactly one window;
+//! * an event `(u, v, t)` belongs to window `⌊(t − t_min) / width⌋`
+//!   (clamped to `W − 1`, which only matters for the ceil slack);
+//! * within a window the usual simple-graph semantics apply — self-loops
+//!   are dropped and duplicate events collapse to one edge — while the
+//!   *same* pair occurring in two windows yields an edge in both
+//!   snapshots (it is a re-interaction, not a duplicate);
+//! * an empty event log yields `W` empty snapshots over the full node
+//!   space, so degenerate inputs flow through the pipeline unchanged.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::Result;
+
+/// Discrete event time. Units are caller-defined (ticks, seconds, …);
+/// the windowing only relies on ordering and differences.
+pub type Timestamp = u64;
+
+/// One timestamped interaction event between two nodes.
+pub type TemporalEdge = (NodeId, NodeId, Timestamp);
+
+/// An event log partitioned into per-window CSR snapshots over a shared
+/// node space.
+///
+/// ```
+/// use pgb_graph::temporal::SnapshotSequence;
+///
+/// // Two bursts of activity: a triangle at t∈{0,1}, a re-wiring at t=9.
+/// let events = [(0, 1, 0), (1, 2, 1), (2, 0, 1), (0, 3, 9), (0, 1, 9)];
+/// let seq = SnapshotSequence::build(4, &events, 2).unwrap();
+/// assert_eq!(seq.window_count(), 2);
+/// assert_eq!(seq.snapshot(0).edge_count(), 3); // the triangle
+/// assert_eq!(seq.snapshot(1).edge_count(), 2); // (0,3) plus the repeat (0,1)
+/// assert_eq!(seq.window_bounds(0), (0, 5)); // width ⌈10/2⌉ = 5, half-open
+/// ```
+#[derive(Clone, Debug)]
+pub struct SnapshotSequence {
+    t_min: Timestamp,
+    width: Timestamp,
+    snapshots: Vec<Graph>,
+}
+
+impl SnapshotSequence {
+    /// Partitions `events` into `windows` equal-width snapshots over `n`
+    /// nodes. `windows` must be ≥ 1 (a programmer error, not a data error,
+    /// hence a panic); node ids out of `0..n` error like any other builder
+    /// input.
+    pub fn build(n: usize, events: &[TemporalEdge], windows: usize) -> Result<Self> {
+        assert!(windows >= 1, "SnapshotSequence needs at least one window");
+        let mut sorted: Vec<TemporalEdge> = events.to_vec();
+        // Stable, so simultaneous events keep their log order (the builder
+        // dedups anyway; this only matters for reproducible iteration).
+        sorted.sort_by_key(|&(_, _, t)| t);
+
+        let (t_min, t_max) = match (sorted.first(), sorted.last()) {
+            (Some(&(_, _, lo)), Some(&(_, _, hi))) => (lo, hi),
+            _ => (0, 0),
+        };
+        let span = (t_max - t_min).saturating_add(1);
+        let width = span.div_ceil(windows as Timestamp).max(1);
+
+        let mut snapshots = Vec::with_capacity(windows);
+        let mut start = 0usize;
+        for w in 0..windows {
+            // Events are sorted by t, so each window is a contiguous slice;
+            // the last window sweeps up the ceil slack.
+            let end = if w + 1 == windows {
+                sorted.len()
+            } else {
+                let fence = w as Timestamp + 1;
+                sorted.partition_point(|&(_, _, t)| (t - t_min) / width < fence)
+            };
+            let slice = &sorted[start..end];
+            // Iterating the slice is trivially replayable, which is all the
+            // two-pass streaming builder asks of its emit closure.
+            snapshots.push(GraphBuilder::build_streaming(n, |sink| {
+                for &(u, v, _) in slice {
+                    sink(u, v);
+                }
+            })?);
+            start = end;
+        }
+        Ok(SnapshotSequence { t_min, width, snapshots })
+    }
+
+    /// Number of windows `W`.
+    pub fn window_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The shared node-space size.
+    pub fn node_count(&self) -> usize {
+        self.snapshots[0].node_count()
+    }
+
+    /// The snapshot of window `w`. Panics if `w ≥ window_count()`.
+    pub fn snapshot(&self, w: usize) -> &Graph {
+        &self.snapshots[w]
+    }
+
+    /// All snapshots, in window order.
+    pub fn snapshots(&self) -> &[Graph] {
+        &self.snapshots
+    }
+
+    /// The half-open timestamp range `[start, end)` of window `w`; the last
+    /// window's `end` saturates instead of wrapping. Panics if out of range.
+    pub fn window_bounds(&self, w: usize) -> (Timestamp, Timestamp) {
+        assert!(w < self.snapshots.len(), "window {w} out of range");
+        let start = self.t_min.saturating_add(self.width.saturating_mul(w as Timestamp));
+        (start, start.saturating_add(self.width))
+    }
+
+    /// Total edges across all snapshots (re-interactions counted per window).
+    pub fn edge_count(&self) -> usize {
+        self.snapshots.iter().map(Graph::edge_count).sum()
+    }
+
+    /// Heap footprint of all snapshots, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.snapshots.as_slice())
+            + self.snapshots.iter().map(Graph::heap_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows_of(seq: &SnapshotSequence) -> Vec<usize> {
+        seq.snapshots().iter().map(Graph::edge_count).collect()
+    }
+
+    #[test]
+    fn partitions_events_by_window() {
+        let events = [(0, 1, 0), (1, 2, 3), (2, 3, 6), (3, 0, 9)];
+        let seq = SnapshotSequence::build(4, &events, 2).unwrap();
+        // span 10, width 5: t∈{0,3} left, t∈{6,9} right.
+        assert_eq!(windows_of(&seq), vec![2, 2]);
+        assert_eq!(seq.window_bounds(0), (0, 5));
+        assert_eq!(seq.window_bounds(1), (5, 10));
+        assert_eq!(seq.node_count(), 4);
+        assert_eq!(seq.edge_count(), 4);
+    }
+
+    #[test]
+    fn snapshot_matches_from_edges_of_window_events() {
+        let events = [(0, 1, 2), (2, 3, 2), (1, 2, 7), (0, 1, 8), (1, 0, 8)];
+        let seq = SnapshotSequence::build(4, &events, 2).unwrap();
+        let left = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let right = Graph::from_edges(4, [(1, 2), (0, 1)]).unwrap();
+        assert_eq!(seq.snapshot(0).csr(), left.csr());
+        assert_eq!(seq.snapshot(1).csr(), right.csr());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let shuffled = [(3, 0, 9), (0, 1, 0), (2, 3, 6), (1, 2, 3)];
+        let ordered = [(0, 1, 0), (1, 2, 3), (2, 3, 6), (3, 0, 9)];
+        let a = SnapshotSequence::build(4, &shuffled, 3).unwrap();
+        let b = SnapshotSequence::build(4, &ordered, 3).unwrap();
+        for w in 0..3 {
+            assert_eq!(a.snapshot(w).csr(), b.snapshot(w).csr());
+        }
+    }
+
+    #[test]
+    fn burst_leaves_trailing_windows_empty() {
+        // All activity in one instant: window 0 gets everything, the ceil
+        // slack leaves the rest empty but present.
+        let events = [(0, 1, 5), (1, 2, 5), (2, 0, 5)];
+        let seq = SnapshotSequence::build(3, &events, 4).unwrap();
+        assert_eq!(windows_of(&seq), vec![3, 0, 0, 0]);
+        for w in 0..4 {
+            assert_eq!(seq.snapshot(w).node_count(), 3);
+        }
+    }
+
+    #[test]
+    fn empty_log_yields_empty_snapshots() {
+        let seq = SnapshotSequence::build(5, &[], 3).unwrap();
+        assert_eq!(seq.window_count(), 3);
+        assert_eq!(windows_of(&seq), vec![0, 0, 0]);
+        assert_eq!(seq.node_count(), 5);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_collapse_per_window() {
+        let events = [(0, 0, 1), (0, 1, 1), (1, 0, 1), (0, 1, 9)];
+        let seq = SnapshotSequence::build(2, &events, 2).unwrap();
+        // Window 0: the self-loop drops and (0,1)/(1,0) collapse; window 1
+        // re-publishes the pair as its own edge.
+        assert_eq!(windows_of(&seq), vec![1, 1]);
+    }
+
+    #[test]
+    fn single_window_is_the_whole_log() {
+        let events = [(0, 1, 0), (1, 2, 100), (2, 0, 7)];
+        let seq = SnapshotSequence::build(3, &events, 1).unwrap();
+        let all = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(seq.snapshot(0).csr(), all.csr());
+        assert_eq!(seq.window_bounds(0), (0, 101));
+    }
+
+    #[test]
+    fn node_range_errors_propagate() {
+        assert!(SnapshotSequence::build(2, &[(0, 5, 0)], 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        let _ = SnapshotSequence::build(2, &[(0, 1, 0)], 0);
+    }
+
+    #[test]
+    fn extreme_timestamps_do_not_overflow() {
+        let events = [(0, 1, 0), (1, 2, u64::MAX)];
+        let seq = SnapshotSequence::build(3, &events, 2).unwrap();
+        assert_eq!(windows_of(&seq), vec![1, 1]);
+        let (_, end) = seq.window_bounds(1);
+        assert_eq!(end, u64::MAX); // saturated, not wrapped
+    }
+}

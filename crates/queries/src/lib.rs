@@ -26,9 +26,11 @@ pub mod counting;
 pub mod degree;
 pub mod path;
 pub mod suite;
+pub mod temporal;
 pub mod topology;
 
 pub use suite::{ApproxReport, QuerySuite, SuiteStats};
+pub use temporal::{suite_drift, suite_drift_sequence, SuiteDrift};
 
 use pgb_graph::Graph;
 use rand::Rng;
