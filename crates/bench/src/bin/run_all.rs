@@ -2,7 +2,7 @@
 //! the sibling binaries (so each gets its own process, which matters for
 //! the Table X allocator measurement).
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
 const BINS: [&str; 10] = [
     "table6",
@@ -17,10 +17,10 @@ const BINS: [&str; 10] = [
     "table7",
 ];
 
-fn main() {
+fn run() -> Result<ExitCode, String> {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe directory");
+    let me = std::env::current_exe().map_err(|e| format!("locating current exe: {e}"))?;
+    let dir = me.parent().ok_or("current exe has no parent directory")?;
     for bin in BINS {
         println!("\n============================================================");
         println!("== {bin}");
@@ -28,10 +28,9 @@ fn main() {
         let status = Command::new(dir.join(bin))
             .args(&forwarded)
             .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+            .map_err(|e| format!("launching {bin}: {e}"))?;
         if !status.success() {
-            eprintln!("{bin} failed with {status}");
-            std::process::exit(1);
+            return Err(format!("{bin} failed with {status}"));
         }
     }
     // Table XII reuses the Table VII grid; run it last so a user watching
@@ -42,6 +41,16 @@ fn main() {
     let status = Command::new(dir.join("table12"))
         .args(&forwarded)
         .status()
-        .expect("failed to launch table12");
-    std::process::exit(status.code().unwrap_or(1));
+        .map_err(|e| format!("launching table12: {e}"))?;
+    Ok(ExitCode::from(status.code().unwrap_or(1).clamp(0, 255) as u8))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -34,9 +34,14 @@ fn main() {
     println!("{}", render_table7(&results));
     println!("Table XII — best-performance counts C_A(Q) over 8 datasets x 6 budgets\n");
     println!("{}", render_table12(&results));
-    // Raw per-cell errors for downstream analysis.
+    // Raw per-cell errors for downstream analysis. A failed write is a
+    // failed run: CI consumes this CSV, so it must not vanish silently.
     let csv_path = std::path::Path::new("target").join("table7_raw.csv");
-    if std::fs::write(&csv_path, results.to_csv()).is_ok() {
-        eprintln!("raw errors written to {}", csv_path.display());
+    match std::fs::write(&csv_path, results.to_csv()) {
+        Ok(()) => eprintln!("raw errors written to {}", csv_path.display()),
+        Err(e) => {
+            eprintln!("table7: writing {}: {e}", csv_path.display());
+            std::process::exit(1);
+        }
     }
 }

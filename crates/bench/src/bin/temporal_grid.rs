@@ -88,7 +88,11 @@ fn main() {
     }
 
     let csv_path = std::path::Path::new("target").join("temporal_grid_raw.csv");
-    if std::fs::write(&csv_path, results.to_csv()).is_ok() {
-        eprintln!("\nraw errors written to {}", csv_path.display());
+    match std::fs::write(&csv_path, results.to_csv()) {
+        Ok(()) => eprintln!("\nraw errors written to {}", csv_path.display()),
+        Err(e) => {
+            eprintln!("temporal_grid: writing {}: {e}", csv_path.display());
+            std::process::exit(1);
+        }
     }
 }

@@ -45,14 +45,14 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let (ledger, run) = (&ledger, &run);
-            scope.spawn(move || {
-                while let Some((task, grant)) = ledger.claim() {
-                    let ((), grant) =
-                        crate::par::with_elastic_parallelism(Arc::clone(ledger), grant, || {
-                            run(task)
-                        });
-                    ledger.release(grant);
-                }
+            scope.spawn(move || loop {
+                // The fault point sits *before* the claim so a simulated
+                // worker crash never strands a claimed grant.
+                crate::fault::point("exec.claim", &[crate::fault::FaultAction::Panic]);
+                let Some((task, grant)) = ledger.claim() else { break };
+                let ((), grant) =
+                    crate::par::with_elastic_parallelism(Arc::clone(ledger), grant, || run(task));
+                ledger.release(grant);
             });
         }
     });

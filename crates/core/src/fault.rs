@@ -1,0 +1,251 @@
+//! Seeded fault injection: named fault points that are zero-cost when
+//! disabled and deterministically misbehave under an armed [`FaultPlan`].
+//!
+//! Robustness claims ("no budget overdraw under faults", "the cache is
+//! never poisoned", "recovery replays a clean prefix") are only as good as
+//! the faults they were tested against. This module lets the chaos tests
+//! drive *seeded* fault schedules through the real code paths instead of
+//! hand-built mock failures:
+//!
+//! * Production code marks its hazardous spots with
+//!   [`point`]`("cache.measure", &[FaultAction::Panic, …])` (infallible
+//!   sites: the fault fires as a panic or a cancellation) or
+//!   [`point_io`]`("wal.append")` (fallible I/O sites: the fault fires as
+//!   an `io::Error`). Disabled — the default — a point is one relaxed
+//!   atomic load.
+//! * A test arms a [`FaultPlan`] (seed + per-mille fire rate) with
+//!   [`install`]; each point keeps a per-name hit counter, and whether hit
+//!   `n` of point `p` fires is a pure hash of `(seed, p, n)`. Single-
+//!   threaded drives are therefore exactly reproducible from the seed;
+//!   concurrent drives reproduce the *decision table* even though the hit
+//!   interleaving varies — which is the right contract, because the
+//!   invariants under test must hold for every interleaving anyway.
+//!
+//! ## Fault-point catalogue
+//!
+//! | point | actions | site |
+//! |-------|---------|------|
+//! | `cache.measure` | panic, cancel | `pgb-serve`: the measure closure, inside the single-flight leader |
+//! | `serve.sample` | panic, cancel | `pgb-serve`: per-sample boundary of request execution |
+//! | `wal.append` | error | `pgb-serve`: WAL record append (fires under the admission lock, so only an error — a panic would poison it) |
+//! | `exec.claim` | panic | `pgb-core::exec`: the elastic worker claim loop (simulated worker crash) |
+//!
+//! Injected panics carry [`INJECTED_MARKER`] in their payload so test
+//! panic hooks (see [`install_quiet_panic_hook`]) can silence exactly
+//! them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Marker substring every injected panic / error message carries.
+pub const INJECTED_MARKER: &str = "injected fault";
+
+/// What a firing fault point does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with an [`INJECTED_MARKER`] payload.
+    Panic,
+    /// Return an `io::Error` (only [`point_io`] sites).
+    Error,
+    /// Cancel the current [`pgb_par::cancel::CancelToken`], if installed.
+    Cancel,
+}
+
+/// A seeded fault schedule: hit `n` of point `p` fires iff
+/// `hash(seed, p, n) mod 1000 < rate_permille`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Seed of the decision hash.
+    pub seed: u64,
+    /// Fire rate in per-mille (0 ⇒ never, 1000 ⇒ every hit).
+    pub rate_permille: u16,
+}
+
+struct Armed {
+    plan: FaultPlan,
+    /// Per-point hit counters — the `n` of the decision hash.
+    counters: Mutex<HashMap<&'static str, u64>>,
+}
+
+/// Fast-path gate: a disabled fault layer costs one relaxed load per
+/// point.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ARMED: Mutex<Option<Arc<Armed>>> = Mutex::new(None);
+
+/// Arms `plan` process-wide. Tests that install plans must serialize with
+/// each other (the chaos suites hold a lock across install → drive →
+/// [`clear`]).
+pub fn install(plan: FaultPlan) {
+    let armed = Arc::new(Armed { plan, counters: Mutex::new(HashMap::new()) });
+    *ARMED.lock().expect("fault plan lock poisoned") = Some(armed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms fault injection; every point returns to its zero-cost path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *ARMED.lock().expect("fault plan lock poisoned") = None;
+}
+
+/// Whether a plan is currently armed.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The decision hash: same mixer family as `pgb_par::derive_stream`.
+fn mix(seed: u64, name: &str, hit: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= seed ^ 0x2545_F491_4F6C_DD1D;
+    h ^= hit.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h = h.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    h ^= h >> 32;
+    h
+}
+
+/// Rolls point `name`'s next hit against the armed plan. `Some(h)` with
+/// the decision hash when it fires.
+fn roll(name: &'static str) -> Option<u64> {
+    let armed = ARMED.lock().expect("fault plan lock poisoned").clone()?;
+    let hit = {
+        let mut counters = armed.counters.lock().expect("fault counters lock poisoned");
+        let slot = counters.entry(name).or_insert(0);
+        let hit = *slot;
+        *slot += 1;
+        hit
+    };
+    let h = mix(armed.plan.seed, name, hit);
+    (h % 1000 < armed.plan.rate_permille as u64).then_some(h >> 10)
+}
+
+/// An infallible fault point: under an armed plan, a firing hit performs
+/// one of `allowed` (chosen by the decision hash) — `Panic` raises an
+/// [`INJECTED_MARKER`] panic, `Cancel` cancels the current token.
+/// `Error` entries are ignored here (infallible sites cannot return one).
+/// Zero-cost when disabled.
+#[inline]
+pub fn point(name: &'static str, allowed: &[FaultAction]) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    fire(name, allowed);
+}
+
+#[cold]
+fn fire(name: &'static str, allowed: &[FaultAction]) {
+    let Some(h) = roll(name) else { return };
+    if allowed.is_empty() {
+        return;
+    }
+    match allowed[(h % allowed.len() as u64) as usize] {
+        FaultAction::Panic => std::panic::panic_any(format!("{INJECTED_MARKER}: {name}")),
+        FaultAction::Cancel => pgb_par::cancel::cancel_current(),
+        FaultAction::Error => {}
+    }
+}
+
+/// A fallible fault point: under an armed plan, a firing hit returns an
+/// injected `io::Error`. For sites that hold locks or other state a panic
+/// would poison. Zero-cost when disabled.
+#[inline]
+pub fn point_io(name: &'static str) -> std::io::Result<()> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match roll(name) {
+        Some(_) => Err(std::io::Error::other(format!("{INJECTED_MARKER}: {name}"))),
+        None => Ok(()),
+    }
+}
+
+/// Installs a panic hook (once, wrapping the previous hook) that silences
+/// exactly the deliberate unwinds this layer produces: injected-fault
+/// panics and `pgb_par::cancel::CancelUnwind` deadline unwinds. Everything
+/// else still reaches the previous hook. Binaries and chaos tests call
+/// this so expected unwinds don't spray backtraces.
+pub fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let expected = payload.is::<pgb_par::cancel::CancelUnwind>()
+                || payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains(INJECTED_MARKER))
+                    .or_else(|| {
+                        payload.downcast_ref::<String>().map(|s| s.contains(INJECTED_MARKER))
+                    })
+                    .unwrap_or(false);
+            if !expected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex as StdMutex;
+
+    /// The fault plan is process-global; tests arming it serialize here.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn disabled_points_do_nothing() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        point("test.free", &[FaultAction::Panic]);
+        assert!(point_io("test.free").is_ok());
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_seed_and_hit_index() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let drive = || -> Vec<bool> {
+            install(FaultPlan { seed: 42, rate_permille: 300 });
+            let fired = (0..64).map(|_| point_io("test.det").is_err()).collect();
+            clear();
+            fired
+        };
+        let a = drive();
+        let b = drive();
+        assert_eq!(a, b, "same seed, same hit order, same decisions");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(fired > 0 && fired < 64, "rate 30% fires some but not all of 64 hits: {fired}");
+    }
+
+    #[test]
+    fn panic_action_carries_the_marker() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        install_quiet_panic_hook();
+        install(FaultPlan { seed: 7, rate_permille: 1000 });
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            point("test.panic", &[FaultAction::Panic]);
+        }))
+        .expect_err("rate 1000 always fires");
+        clear();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains(INJECTED_MARKER), "{msg}");
+    }
+
+    #[test]
+    fn cancel_action_cancels_the_current_token() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        install(FaultPlan { seed: 7, rate_permille: 1000 });
+        let token = pgb_par::cancel::CancelToken::unlimited();
+        pgb_par::cancel::with_token(&token, || {
+            point("test.cancel", &[FaultAction::Cancel]);
+        });
+        clear();
+        assert_eq!(token.cause(), Some(pgb_par::cancel::CancelCause::Manual));
+    }
+}

@@ -38,6 +38,7 @@ pub mod der;
 pub mod dgg;
 pub mod dpdk;
 pub mod exec;
+pub mod fault;
 pub mod generator;
 pub mod privgraph;
 pub mod privhrg;

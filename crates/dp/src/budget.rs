@@ -275,6 +275,114 @@ impl BudgetAccountant {
         }
         Ok(eps)
     }
+
+    /// Serializes the full accounting state — total, spent, and every
+    /// `(label, ε)` entry in spend order — as a self-contained byte string.
+    ///
+    /// All floats are stored as exact IEEE-754 bit patterns, so a decoded
+    /// accountant is bit-identical, not merely approximately equal; durable
+    /// logs (`pgb-serve`'s WAL checkpoints) rely on this to compare
+    /// recovered state against recorded state byte-for-byte.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.entries.len() * 24);
+        out.extend_from_slice(&self.budget.total().to_bits().to_le_bytes());
+        out.extend_from_slice(&self.budget.spent().to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (label, eps) in &self.entries {
+            out.extend_from_slice(&(label.len() as u64).to_le_bytes());
+            out.extend_from_slice(label.as_bytes());
+            out.extend_from_slice(&eps.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds an accountant from [`encode_bytes`](Self::encode_bytes)
+    /// output by *re-spending* every entry through the normal accounting
+    /// API — a forged byte string can therefore never over-restore a
+    /// budget past its total. Fails with [`DecodeError`] on truncated
+    /// input, trailing garbage, invalid spends, or a recorded `spent`
+    /// field that the replayed entries do not reproduce bit-exactly.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor { bytes, at: 0 };
+        let total = f64::from_bits(cur.u64()?);
+        let spent_bits = cur.u64()?;
+        let count = cur.u64()?;
+        let mut acc = BudgetAccountant::new(total).map_err(DecodeError::Budget)?;
+        for _ in 0..count {
+            let len = cur.u64()?;
+            let label = std::str::from_utf8(cur.take(len as usize)?)
+                .map_err(|_| DecodeError::Malformed("entry label is not UTF-8"))?
+                .to_owned();
+            let eps = f64::from_bits(cur.u64()?);
+            acc.spend(label, eps).map_err(DecodeError::Budget)?;
+        }
+        if cur.at != bytes.len() {
+            return Err(DecodeError::Malformed("trailing bytes after final entry"));
+        }
+        if acc.spent().to_bits() != spent_bits {
+            return Err(DecodeError::SpentMismatch {
+                recorded: f64::from_bits(spent_bits),
+                replayed: acc.spent(),
+            });
+        }
+        Ok(acc)
+    }
+}
+
+/// Errors from [`BudgetAccountant::decode_bytes`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    /// The byte string ended mid-field or carried trailing garbage.
+    Malformed(&'static str),
+    /// A replayed entry failed budget validation (overdraw, bad ε, bad
+    /// total) — the serialized state was never reachable through the API.
+    Budget(BudgetError),
+    /// The replayed entries do not reproduce the recorded `spent` value
+    /// bit-exactly.
+    SpentMismatch {
+        /// `spent` as recorded in the byte string.
+        recorded: f64,
+        /// `spent` after replaying every entry.
+        replayed: f64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Malformed(what) => write!(f, "malformed accountant bytes: {what}"),
+            DecodeError::Budget(e) => write!(f, "accountant bytes replay a spend that fails: {e}"),
+            DecodeError::SpentMismatch { recorded, replayed } => write!(
+                f,
+                "accountant bytes record spent={recorded} but entries replay to {replayed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A bounds-checked byte reader for [`BudgetAccountant::decode_bytes`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(DecodeError::Malformed("byte string ends mid-field"))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8) yields 8 bytes")))
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +470,85 @@ mod tests {
         assert_eq!(acc.entries()[1].0, "static phase");
         let entry_sum: f64 = acc.entries().iter().map(|&(_, e)| e).sum();
         assert_eq!(entry_sum, acc.spent());
+    }
+
+    #[test]
+    fn accountant_round_trips_through_bytes_bit_exactly() {
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        acc.spend("req0000 er/TmF ε=0.1", 0.1).unwrap();
+        acc.spend("req0001 ba/Dgg ε=0.3", 0.3).unwrap();
+        acc.spend_remaining("drain");
+        let bytes = acc.encode_bytes();
+        let back = BudgetAccountant::decode_bytes(&bytes).unwrap();
+        assert_eq!(back.total().to_bits(), acc.total().to_bits());
+        assert_eq!(back.spent().to_bits(), acc.spent().to_bits());
+        assert_eq!(back.entries(), acc.entries());
+        assert_eq!(back.encode_bytes(), bytes, "encode ∘ decode is the identity on bytes");
+    }
+
+    #[test]
+    fn empty_accountant_round_trips() {
+        let acc = BudgetAccountant::new(0.5).unwrap();
+        let back = BudgetAccountant::decode_bytes(&acc.encode_bytes()).unwrap();
+        assert_eq!(back.entries().len(), 0);
+        assert_eq!(back.spent(), 0.0);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        acc.spend("phase", 0.5).unwrap();
+        let bytes = acc.encode_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                BudgetAccountant::decode_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            BudgetAccountant::decode_bytes(&padded),
+            Err(DecodeError::Malformed("trailing bytes after final entry"))
+        ));
+    }
+
+    #[test]
+    fn decode_cannot_over_restore() {
+        // Forge a byte string whose entries overdraw the recorded total:
+        // replaying through the real spend API must reject it.
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        acc.spend("a", 0.8).unwrap();
+        let mut bytes = acc.encode_bytes();
+        let again = bytes[24..].to_vec(); // duplicate the single entry
+        bytes.extend_from_slice(&again);
+        bytes[16..24].copy_from_slice(&2u64.to_le_bytes()); // entry count 1 → 2
+        assert!(matches!(
+            BudgetAccountant::decode_bytes(&bytes),
+            Err(DecodeError::Budget(BudgetError::Exhausted { .. }))
+        ));
+    }
+
+    #[test]
+    fn decode_detects_spent_mismatch() {
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        acc.spend("a", 0.25).unwrap();
+        let mut bytes = acc.encode_bytes();
+        bytes[8..16].copy_from_slice(&0.75f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            BudgetAccountant::decode_bytes(&bytes),
+            Err(DecodeError::SpentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_absurd_length_prefix_errors_cleanly() {
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        acc.spend("label", 0.5).unwrap();
+        let mut bytes = acc.encode_bytes();
+        // Entry label length → u64::MAX: must error, not overflow or OOM.
+        bytes[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(BudgetAccountant::decode_bytes(&bytes).is_err());
     }
 
     #[test]

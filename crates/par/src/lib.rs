@@ -53,6 +53,18 @@
 //! queue is the job of [`BudgetLedger`]: workers re-claim their share per
 //! task, so threads released by finished workers flow to the tail of the
 //! queue instead of idling (the benchmark runner's elastic scheduler).
+//!
+//! ## Deterministic cancellation
+//!
+//! Callers that must bound runaway work install a [`cancel::CancelToken`]
+//! around a parallel section; every chunk claim then charges one **work
+//! tick** against the token's budget. Because the chunk decomposition is a
+//! pure function of `(len, chunk)`, whether a section exceeds its tick
+//! budget is identical at any thread count — see [`cancel`] for the full
+//! story (quiet worker stop, typed [`cancel::CancelUnwind`] payload raised
+//! by the calling thread, tick shielding, the wall-clock escape hatch).
+
+pub mod cancel;
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -385,23 +397,38 @@ where
 {
     let slots: Vec<OnceLock<T>> = (0..ranges.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
+    // The calling thread's cancellation context rides into every worker,
+    // so chunk claims charge the request's token no matter which thread
+    // runs them.
+    let ctx = cancel::snapshot();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                // A worker *is* the parallelism; anything nested runs serial.
-                with_parallelism(1, || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= ranges.len() {
-                        break;
-                    }
-                    assert!(
-                        slots[i].set(produce(i, ranges[i].clone())).is_ok(),
-                        "the atomic cursor hands out each chunk once"
-                    );
+            let (slots, cursor, produce, ctx) = (&slots, &cursor, &produce, ctx.clone());
+            scope.spawn(move || {
+                cancel::with_snapshot(ctx, || {
+                    // A worker *is* the parallelism; anything nested runs serial.
+                    with_parallelism(1, || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= ranges.len() {
+                            break;
+                        }
+                        // Cancelled: stop claiming *quietly* — a scoped
+                        // panic would be laundered into a payload-free
+                        // generic by std::thread::scope; the calling
+                        // thread raises the typed unwind below instead.
+                        if !cancel::charge_current(1) {
+                            break;
+                        }
+                        assert!(
+                            slots[i].set(produce(i, ranges[i].clone())).is_ok(),
+                            "the atomic cursor hands out each chunk once"
+                        );
+                    });
                 });
             });
         }
     });
+    cancel::bail_if_cancelled();
     slots
         .into_iter()
         .map(|s| s.into_inner().expect("every claimed chunk publishes its slot"))
@@ -429,6 +456,9 @@ where
     if workers <= 1 {
         let mut out = Vec::new();
         for (i, r) in ranges.into_iter().enumerate() {
+            // Same tick per chunk as the parallel path charges per claim,
+            // so the cancellation decision is budget-invariant.
+            cancel::checkpoint(1);
             f(r, &mut derive_stream(base, i as u64), &mut out);
         }
         return out;
@@ -459,6 +489,7 @@ where
     if workers <= 1 {
         let mut out = Vec::new();
         for r in ranges {
+            cancel::checkpoint(1);
             f(r, &mut out);
         }
         return out;
@@ -507,6 +538,7 @@ where
     if workers <= 1 {
         let mut acc = init();
         for r in ranges {
+            cancel::checkpoint(1);
             fold(&mut acc, r);
         }
         return acc;
@@ -751,6 +783,64 @@ mod tests {
         let (_, g) = ledger.claim().unwrap();
         assert_eq!(g.threads(), 1);
         ledger.release(g);
+    }
+
+    #[test]
+    fn tick_totals_are_identical_across_thread_budgets() {
+        // 100 elements / chunk 16 ⇒ 7 chunks, charged once each whether
+        // they run inline or over 8 workers.
+        for threads in [1usize, 2, 8, 0] {
+            let token = cancel::CancelToken::unlimited();
+            cancel::with_token(&token, || {
+                with_parallelism(threads, || {
+                    par_map_chunks(100, 16, |range, out: &mut Vec<usize>| out.extend(range))
+                })
+            });
+            assert_eq!(token.ticks(), 7, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_decision_is_budget_invariant() {
+        // 7 chunks against tick budgets straddling 7: cancelled iff
+        // chunks > budget, at every thread budget, with the typed payload.
+        for threads in [1usize, 2, 8, 0] {
+            for (limit, cancelled) in [(6u64, true), (7, false), (8, false)] {
+                let token = cancel::CancelToken::new(Some(limit), None);
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cancel::with_token(&token, || {
+                        with_parallelism(threads, || {
+                            par_map_chunks(100, 16, |range, out: &mut Vec<usize>| out.extend(range))
+                        })
+                    })
+                }));
+                assert_eq!(out.is_err(), cancelled, "threads = {threads}, limit = {limit}");
+                if let Err(payload) = out {
+                    assert!(payload.is::<cancel::CancelUnwind>());
+                    assert_eq!(token.cause(), Some(cancel::CancelCause::Ticks));
+                } else {
+                    assert_eq!(token.cause(), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_collect_and_fold_charge_ticks_too() {
+        let token = cancel::CancelToken::unlimited();
+        cancel::with_token(&token, || {
+            let mut rng = StdRng::seed_from_u64(3);
+            let _ =
+                par_collect(64, 16, &mut rng, |range, _, out: &mut Vec<usize>| out.extend(range));
+            let _ = par_fold_chunks(
+                64,
+                16,
+                || 0usize,
+                |acc, range| *acc += range.len(),
+                |acc, other| *acc += other,
+            );
+        });
+        assert_eq!(token.ticks(), 8, "4 collect chunks + 4 fold chunks");
     }
 
     #[test]

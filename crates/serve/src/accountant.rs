@@ -191,6 +191,18 @@ impl TenantAccountant {
         names.sort();
         names
     }
+
+    /// A bit-exact byte snapshot of every tenant's accounting state,
+    /// sorted by tenant name, read atomically. WAL checkpoints embed this
+    /// so recovery can verify that folding the admission log reproduces
+    /// the recorded state byte-for-byte (see `pgb_serve::wal`).
+    pub fn encode_snapshot(&self) -> Vec<(String, Vec<u8>)> {
+        let tenants = self.lock();
+        let mut out: Vec<(String, Vec<u8>)> =
+            tenants.iter().map(|(name, acc)| (name.clone(), acc.encode_bytes())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 #[cfg(test)]

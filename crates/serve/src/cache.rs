@@ -36,10 +36,12 @@
 
 use crate::error::ServeError;
 use pgb_core::PrivateSynthesis;
+use pgb_par::cancel::{self, CancelUnwind};
 use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The identity of one measurement: everything the measure's bytes depend
 /// on. ε is stored as its IEEE-754 bit pattern so the key is `Eq + Hash`
@@ -107,10 +109,23 @@ struct Entry {
     last_used: u64,
 }
 
+/// How a measurement flight ended.
+enum FlightOutcome {
+    /// The leader finished: a shared success or a shared structured error.
+    Done(Result<Arc<dyn PrivateSynthesis>, ServeError>),
+    /// The leader was *cancelled* (its own tick or wall deadline, not a
+    /// mechanism fault). The leader's deadline says nothing about the
+    /// waiters' requests — which request leads is a scheduling artifact —
+    /// so waiters retry the whole lookup instead of inheriting the error.
+    /// The retry loop terminates: each request leads at most once, and a
+    /// cancelled request bails on its own token before re-waiting.
+    Abandoned,
+}
+
 /// An in-flight measurement other requests can coalesce onto.
 struct Flight {
     /// `None` until the leader resolves it; then the shared outcome.
-    result: Mutex<Option<Result<Arc<dyn PrivateSynthesis>, ServeError>>>,
+    result: Mutex<Option<FlightOutcome>>,
     cv: Condvar,
 }
 
@@ -145,6 +160,10 @@ pub struct CacheStats {
 pub struct MeasureCache {
     inner: Mutex<Inner>,
     capacity_bytes: usize,
+    /// How long a waiter coalesces on a flight before giving up with
+    /// [`ServeError::FlightTimedOut`] — the guard against a leader that
+    /// died without unwinding (`abort`, SIGKILLed thread).
+    flight_timeout: Duration,
     measures: AtomicUsize,
     hits: AtomicUsize,
     coalesced: AtomicUsize,
@@ -166,7 +185,14 @@ impl MeasureCache {
     /// capacity of 0 still serves single-flight coalescing but retains
     /// nothing (every entry is evicted as soon as it is inserted — the
     /// "always miss" configuration the determinism tests replay under).
+    /// Waiters give up on a flight after 30 s; use
+    /// [`MeasureCache::with_flight_timeout`] to tune that.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_flight_timeout(capacity_bytes, Duration::from_secs(30))
+    }
+
+    /// [`MeasureCache::new`] with an explicit flight timeout.
+    pub fn with_flight_timeout(capacity_bytes: usize, flight_timeout: Duration) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
@@ -175,6 +201,7 @@ impl MeasureCache {
                 bytes: 0,
             }),
             capacity_bytes,
+            flight_timeout,
             measures: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             coalesced: AtomicUsize::new(0),
@@ -219,67 +246,151 @@ impl MeasureCache {
     /// measure execution; its outcome (success, error, or panic) is shared
     /// with every coalesced caller. The measure closure runs with no cache
     /// lock held.
+    ///
+    /// `measure` is `Fn`, not `FnOnce`: if the flight's leader is
+    /// *cancelled* (its own deadline — a scheduling artifact from the
+    /// waiters' perspective), waiters retry the lookup, and one of them
+    /// re-runs the measure as the new leader. Waiters also poll their own
+    /// cancel token while coalesced, and give up with
+    /// [`ServeError::FlightTimedOut`] after the flight timeout (the
+    /// leader-died-without-unwinding case).
     pub fn get_or_measure<F>(
         &self,
         key: &CacheKey,
         measure: F,
     ) -> Result<Arc<dyn PrivateSynthesis>, ServeError>
     where
-        F: FnOnce() -> Result<Box<dyn PrivateSynthesis>, ServeError>,
+        F: Fn() -> Result<Box<dyn PrivateSynthesis>, ServeError>,
     {
-        // Fast path / flight resolution, under the lock.
-        let flight = {
-            let mut inner = self.inner.lock().expect("cache lock poisoned");
-            if let Some(entry) = inner.entries.get(key) {
-                let synthesis = Arc::clone(&entry.synthesis);
-                inner.clock += 1;
-                let now = inner.clock;
-                inner.entries.get_mut(key).expect("entry vanished").last_used = now;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(synthesis);
-            }
-            match inner.inflight.get(key) {
-                Some(flight) => {
-                    // Someone else is measuring this key: coalesce.
-                    self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    Some(Arc::clone(flight))
+        loop {
+            // Fast path / flight resolution, under the lock.
+            let (flight, leads) = {
+                let mut inner = self.inner.lock().expect("cache lock poisoned");
+                if let Some(entry) = inner.entries.get(key) {
+                    let synthesis = Arc::clone(&entry.synthesis);
+                    inner.clock += 1;
+                    let now = inner.clock;
+                    inner.entries.get_mut(key).expect("entry vanished").last_used = now;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(synthesis);
                 }
-                None => {
-                    // We lead.
-                    let flight = Arc::new(Flight { result: Mutex::new(None), cv: Condvar::new() });
-                    inner.inflight.insert(key.clone(), Arc::clone(&flight));
-                    None
-                }
-            }
-        };
-
-        if let Some(flight) = flight {
-            // Waiter path: block until the leader resolves the flight.
-            let mut slot = flight.result.lock().expect("flight lock poisoned");
-            while slot.is_none() {
-                slot = flight.cv.wait(slot).expect("flight lock poisoned");
-            }
-            return slot.as_ref().expect("flight resolved").clone();
-        }
-
-        // Leader path: run the measure with NO lock held, catching panics
-        // so a faulty mechanism cannot poison any cache state.
-        let outcome: Result<Arc<dyn PrivateSynthesis>, ServeError> =
-            match catch_unwind(AssertUnwindSafe(measure)) {
-                Ok(Ok(synthesis)) => Ok(Arc::from(synthesis)),
-                Ok(Err(err)) => Err(err),
-                Err(_panic) => {
-                    Err(ServeError::MeasurePanicked { mechanism: key.mechanism.clone() })
+                match inner.inflight.get(key) {
+                    Some(flight) => {
+                        // Someone else is measuring this key: coalesce.
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        (Arc::clone(flight), false)
+                    }
+                    None => {
+                        // We lead.
+                        let flight =
+                            Arc::new(Flight { result: Mutex::new(None), cv: Condvar::new() });
+                        inner.inflight.insert(key.clone(), Arc::clone(&flight));
+                        (flight, true)
+                    }
                 }
             };
 
-        // Publish: insert on success, then release the single-flight slot
-        // and wake the waiters. The insert and slot release happen under
-        // one lock acquisition so no request can observe "no entry, no
-        // flight" for a key that just resolved successfully.
-        let flight = {
+            if leads {
+                return self.lead(key, &flight, &measure);
+            }
+            match self.coalesce(key, &flight) {
+                Some(result) => return result,
+                None => continue, // the leader abandoned; retry the lookup
+            }
+        }
+    }
+
+    /// Waiter path: blocks on `flight` until it resolves, the waiter's own
+    /// cancel token fires, or the flight timeout elapses. `None` means the
+    /// leader abandoned the flight and the caller should retry.
+    fn coalesce(
+        &self,
+        key: &CacheKey,
+        flight: &Arc<Flight>,
+    ) -> Option<Result<Arc<dyn PrivateSynthesis>, ServeError>> {
+        let deadline = Instant::now() + self.flight_timeout;
+        let mut slot = flight.result.lock().expect("flight lock poisoned");
+        loop {
+            match &*slot {
+                Some(FlightOutcome::Done(result)) => return Some(result.clone()),
+                Some(FlightOutcome::Abandoned) => return None,
+                None => {}
+            }
+            if cancel::current_cancelled() {
+                drop(slot);
+                cancel::bail_if_cancelled();
+                unreachable!("a cancelled token always bails");
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // The leader never resolved the flight (e.g. it died
+                // without unwinding). Release the single-flight slot so a
+                // later request can re-lead — guarded by pointer identity,
+                // because another waiter may have released it already and
+                // a new flight may be underway.
+                drop(slot);
+                let mut inner = self.inner.lock().expect("cache lock poisoned");
+                if inner.inflight.get(key).is_some_and(|cur| Arc::ptr_eq(cur, flight)) {
+                    inner.inflight.remove(key);
+                }
+                drop(inner);
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                return Some(Err(ServeError::FlightTimedOut { mechanism: key.mechanism.clone() }));
+            }
+            // Short slices so a cancellation or timeout is noticed even if
+            // the leader never notifies again.
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            slot = flight.cv.wait_timeout(slot, wait).expect("flight lock poisoned").0;
+        }
+    }
+
+    /// Leader path: runs the measure with NO lock held, catching panics so
+    /// a faulty mechanism cannot poison any cache state, and resolves the
+    /// flight for every coalesced waiter. A [`CancelUnwind`] — the
+    /// leader's own deadline — abandons the flight (waiters retry) and
+    /// resumes unwinding so the leader's request is rejected upstream.
+    fn lead<F>(
+        &self,
+        key: &CacheKey,
+        flight: &Arc<Flight>,
+        measure: &F,
+    ) -> Result<Arc<dyn PrivateSynthesis>, ServeError>
+    where
+        F: Fn() -> Result<Box<dyn PrivateSynthesis>, ServeError>,
+    {
+        let outcome: FlightOutcome = match catch_unwind(AssertUnwindSafe(measure)) {
+            Ok(Ok(synthesis)) => FlightOutcome::Done(Ok(Arc::from(synthesis))),
+            Ok(Err(err)) => FlightOutcome::Done(Err(err)),
+            Err(payload) if payload.is::<CancelUnwind>() => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.resolve(key, flight, FlightOutcome::Abandoned);
+                resume_unwind(payload);
+            }
+            Err(_panic) => FlightOutcome::Done(Err(ServeError::MeasurePanicked {
+                mechanism: key.mechanism.clone(),
+            })),
+        };
+        let result = match &outcome {
+            FlightOutcome::Done(result) => result.clone(),
+            FlightOutcome::Abandoned => unreachable!("abandonment resumes unwinding above"),
+        };
+        if result.is_err() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.resolve(key, flight, outcome);
+        result
+    }
+
+    /// Publishes `outcome` on the leader's own flight and releases the
+    /// single-flight slot. On success the entry is inserted under the same
+    /// lock acquisition that releases the slot, so no request can observe
+    /// "no entry, no flight" for a key that just resolved successfully.
+    /// The slot release is pointer-identity-guarded: a timed-out waiter
+    /// may already have released it (and a new flight may occupy it).
+    fn resolve(&self, key: &CacheKey, flight: &Arc<Flight>, outcome: FlightOutcome) {
+        {
             let mut inner = self.inner.lock().expect("cache lock poisoned");
-            if let Ok(synthesis) = &outcome {
+            if let FlightOutcome::Done(Ok(synthesis)) = &outcome {
                 self.measures.fetch_add(1, Ordering::Relaxed);
                 let bytes = synthesis.heap_bytes().max(1);
                 inner.clock += 1;
@@ -290,17 +401,14 @@ impl MeasureCache {
                 );
                 inner.bytes += bytes;
                 self.evict_over_capacity(&mut inner);
-            } else {
-                self.failures.fetch_add(1, Ordering::Relaxed);
             }
-            inner.inflight.remove(key).expect("leader's flight vanished")
-        };
+            if inner.inflight.get(key).is_some_and(|cur| Arc::ptr_eq(cur, flight)) {
+                inner.inflight.remove(key);
+            }
+        }
         let mut slot = flight.result.lock().expect("flight lock poisoned");
-        *slot = Some(outcome.clone());
+        *slot = Some(outcome);
         flight.cv.notify_all();
-        drop(slot);
-
-        outcome
     }
 
     /// Evicts least-recently-used entries until the resident bytes fit the

@@ -46,6 +46,45 @@ pub enum ServeError {
         /// The panicking mechanism's display name.
         mechanism: String,
     },
+    /// The request's sampling phase panicked after a successful measure.
+    /// The cache entry is intact (other requests still reuse it); the
+    /// admission charge stands.
+    SamplePanicked {
+        /// The mechanism whose synthesis was being sampled.
+        mechanism: String,
+    },
+    /// The request exhausted its deterministic work-tick deadline. The
+    /// rejection is byte-identical at any thread count — `ticks` is the
+    /// request's declared budget, never the (scheduling-dependent) count
+    /// actually consumed. The admission charge stands (conservative DP,
+    /// the same rule as [`ServeError::MeasurePanicked`]).
+    DeadlineExceeded {
+        /// The request's declared tick budget.
+        ticks: u64,
+    },
+    /// The request was cancelled for a non-deterministic reason (wall
+    /// clock, operator). Excluded from the determinism contract; the
+    /// admission charge stands.
+    Cancelled,
+    /// A coalesced waiter gave up on a measurement flight whose leader
+    /// never resolved it (e.g. the leader was killed by `abort`, not an
+    /// unwind). The inflight slot was released so later requests can
+    /// re-lead; the admission charge stands. Wall-clock bounded, so
+    /// excluded from the determinism contract.
+    FlightTimedOut {
+        /// The mechanism whose flight timed out.
+        mechanism: String,
+    },
+    /// Appending the admission to the write-ahead log failed. The request
+    /// was rejected *before* any charge, the in-memory log is untouched
+    /// (WAL and memory never diverge), and the server halts.
+    WalAppend {
+        /// The rendered I/O error.
+        reason: String,
+    },
+    /// The server halted after a WAL failure; it accepts no further
+    /// requests until recovered.
+    Halted,
 }
 
 impl fmt::Display for ServeError {
@@ -68,6 +107,20 @@ impl fmt::Display for ServeError {
             ServeError::MeasurePanicked { mechanism } => {
                 write!(f, "{mechanism} measure panicked")
             }
+            ServeError::SamplePanicked { mechanism } => {
+                write!(f, "{mechanism} sampling panicked")
+            }
+            ServeError::DeadlineExceeded { ticks } => {
+                write!(f, "work-tick deadline exceeded: budget {ticks} ticks")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::FlightTimedOut { mechanism } => {
+                write!(f, "{mechanism} measurement flight timed out")
+            }
+            ServeError::WalAppend { reason } => {
+                write!(f, "write-ahead log append failed: {reason}")
+            }
+            ServeError::Halted => write!(f, "server halted after a WAL failure"),
         }
     }
 }
@@ -89,6 +142,12 @@ impl ServeError {
             ServeError::BudgetExhausted { .. } => "budget-exhausted",
             ServeError::MeasureFailed { .. } => "measure-failed",
             ServeError::MeasurePanicked { .. } => "measure-panicked",
+            ServeError::SamplePanicked { .. } => "sample-panicked",
+            ServeError::DeadlineExceeded { .. } => "deadline-exceeded",
+            ServeError::Cancelled => "cancelled",
+            ServeError::FlightTimedOut { .. } => "flight-timed-out",
+            ServeError::WalAppend { .. } => "wal-append",
+            ServeError::Halted => "halted",
         }
     }
 }

@@ -49,18 +49,37 @@
 //! has still consumed its tenant's ε, which is both the conservative DP
 //! position and what keeps budget statements independent of execution
 //! order.
+//!
+//! ## Crash safety and fault discipline
+//!
+//! Spent ε must survive the process: with a WAL attached
+//! ([`Server::attach_wal`]), every admission is durably appended — CRC-
+//! checksummed, fsynced — *before* its charge lands in memory, and
+//! [`Server::recover`] rebuilds a crashed server by folding the log's
+//! clean prefix back through the replay machinery (torn tails truncate
+//! into a structured [`WalCorrupt`] report, never a panic). Requests carry
+//! deterministic work-tick deadlines ([`GenerateRequest::deadline_ticks`],
+//! cooperative cancellation via `pgb_par::cancel`), so a
+//! [`ServeError::DeadlineExceeded`] rejection is part of the byte-stable
+//! transcript at any thread count; the charge stands, and the cache
+//! flight is released. The seeded fault-injection layer
+//! (`pgb_core::fault`) drives chaos tests over all of it.
 
 mod accountant;
 mod cache;
 mod error;
 mod script;
 mod server;
+mod wal;
 
 pub use accountant::{BudgetStatement, TenantAccountant, TenantStatement};
 pub use cache::{CacheKey, CacheStats, MeasureCache};
 pub use error::ServeError;
 pub use script::{parse_script, render_script, Script, SMOKE_SCRIPT};
 pub use server::{
-    csr_bytes, fnv1a, GenerateRequest, LogEntry, RequestLog, Response, ResponseRecord, Server,
-    ServerConfig, Transcript,
+    csr_bytes, fnv1a, GenerateRequest, LogEntry, Recovery, RequestLog, Response, ResponseRecord,
+    Server, ServerConfig, Transcript,
+};
+pub use wal::{
+    crc32, read_contents, Wal, WalCheckpoint, WalContents, WalCorrupt, MAX_RECORD_BYTES, WAL_MAGIC,
 };

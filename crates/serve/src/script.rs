@@ -6,8 +6,12 @@
 //!
 //! ```text
 //! tenant <name> <epsilon>
-//! req <tenant> <dataset> <mechanism> <epsilon> <samples> <seed>
+//! req <tenant> <dataset> <mechanism> <epsilon> <samples> <seed> [ticks]
 //! ```
+//!
+//! The optional trailing `ticks` field is a deterministic work-tick
+//! deadline (see `GenerateRequest::deadline_ticks`); omitted means
+//! unlimited.
 //!
 //! Tenant lines must precede the first `req`; request lines are the log,
 //! in order. Mechanism names may contain no whitespace (the PGB suite's
@@ -52,14 +56,18 @@ pub fn parse_script(text: &str) -> Result<Script, String> {
                 script.tenants.push((fields[1].to_string(), eps));
             }
             "req" => {
-                if fields.len() != 7 {
+                if !(7..=8).contains(&fields.len()) {
                     return Err(fail(
-                        "expected `req <tenant> <dataset> <mechanism> <epsilon> <samples> <seed>`",
+                        "expected `req <tenant> <dataset> <mechanism> <epsilon> <samples> <seed> [ticks]`",
                     ));
                 }
                 let epsilon: f64 = fields[4].parse().map_err(|_| fail("bad ε"))?;
                 let samples: usize = fields[5].parse().map_err(|_| fail("bad sample count"))?;
                 let seed: u64 = fields[6].parse().map_err(|_| fail("bad seed"))?;
+                let deadline_ticks: u64 = match fields.get(7) {
+                    Some(t) => t.parse().map_err(|_| fail("bad tick deadline"))?,
+                    None => 0,
+                };
                 script.log.push(LogEntry {
                     tenant: fields[1].to_string(),
                     request: GenerateRequest {
@@ -68,6 +76,7 @@ pub fn parse_script(text: &str) -> Result<Script, String> {
                         epsilon,
                         samples,
                         seed,
+                        deadline_ticks,
                     },
                 });
             }
@@ -86,11 +95,15 @@ pub fn render_script(script: &Script) -> String {
     }
     for entry in &script.log {
         let q = &entry.request;
-        let _ = writeln!(
+        let _ = write!(
             out,
             "req {} {} {} {} {} {}",
             entry.tenant, q.dataset, q.mechanism, q.epsilon, q.samples, q.seed
         );
+        if q.deadline_ticks != 0 {
+            let _ = write!(out, " {}", q.deadline_ticks);
+        }
+        out.push('\n');
     }
     out
 }

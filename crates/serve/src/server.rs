@@ -1,16 +1,24 @@
 //! The server: admission → budget charge → cached measure → samples, and
 //! the deterministic request-log replay that tests pin their transcripts
-//! on.
+//! on. With a WAL attached ([`Server::attach_wal`]), every admission is
+//! durably logged before its charge lands, and [`Server::recover`]
+//! rebuilds a crashed server's accountants and transcript from the log.
 
 use crate::accountant::{BudgetStatement, TenantAccountant, TenantStatement};
 use crate::cache::{CacheKey, MeasureCache};
 use crate::error::ServeError;
+use crate::wal::{Wal, WalContents, WalCorrupt};
+use pgb_core::fault;
 use pgb_core::{GraphGenerator, PrivateSynthesis};
 use pgb_graph::Graph;
+use pgb_par::cancel::{self, CancelCause, CancelToken, CancelUnwind};
 use pgb_par::derive_stream;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// What a tenant asks for: `samples` synthetic graphs of `dataset` under
 /// `mechanism` at privacy budget `epsilon`, seeded by `seed`.
@@ -26,6 +34,11 @@ pub struct GenerateRequest {
     pub samples: usize,
     /// Request seed; part of the measurement's cache identity.
     pub seed: u64,
+    /// Work-tick deadline (0 ⇒ unlimited). Ticks are deterministic units —
+    /// chunk claims in `pgb-par` plus one per sample — so a
+    /// [`ServeError::DeadlineExceeded`] rejection is byte-identical at any
+    /// thread count. Part of the request's logged identity.
+    pub deadline_ticks: u64,
 }
 
 /// One line of a request log: who asked for what, in arrival order.
@@ -50,12 +63,34 @@ pub struct ServerConfig {
     /// the determinism contract is *about* varying it — and
     /// [`Server::replay_default`] falls back to this.
     pub threads: usize,
+    /// How long a coalesced waiter waits on a measurement flight before
+    /// giving up with [`ServeError::FlightTimedOut`]. Guards against a
+    /// leader killed by `abort` (not unwind); wall-clock, so outside the
+    /// determinism contract.
+    pub flight_timeout: Duration,
+    /// Optional wall-clock deadline applied to every request's execution.
+    /// `None` (the default) keeps the server fully deterministic; `Some`
+    /// trades that for bounded latency in real deployments
+    /// ([`ServeError::Cancelled`] rejections are *not* replay-stable).
+    pub wall_deadline: Option<Duration>,
+    /// Append an accountant checkpoint to the WAL every this many
+    /// admissions (0 ⇒ never). Checkpoints are verification records:
+    /// recovery cross-checks them against the replayed admission fold.
+    pub wal_checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        // 64 MiB of intermediates, machine-sized thread budget.
-        Self { cache_bytes: 64 << 20, threads: 0 }
+        // 64 MiB of intermediates, machine-sized thread budget, generous
+        // flight timeout, deterministic (tick-only) deadlines, no
+        // checkpoint cadence until a WAL is attached and tuned.
+        Self {
+            cache_bytes: 64 << 20,
+            threads: 0,
+            flight_timeout: Duration::from_secs(30),
+            wall_deadline: None,
+            wal_checkpoint_every: 0,
+        }
     }
 }
 
@@ -114,6 +149,14 @@ pub struct Server {
     /// and admission happens under it so budget statements are a pure
     /// function of the log prefix (determinism invariant 1).
     live: Mutex<RequestLog>,
+    /// The durable admission log, when attached. Appended (and fsynced)
+    /// under the `live` lock *before* the in-memory admit, so the WAL is
+    /// always a prefix-accurate image of `live`.
+    wal: Mutex<Option<Wal>>,
+    /// Latched after a WAL failure: the in-memory state is ahead of (or
+    /// ambiguous with) the durable log, so no further request may be
+    /// admitted until the operator recovers from the WAL.
+    halted: AtomicBool,
 }
 
 impl Server {
@@ -129,9 +172,11 @@ impl Server {
             datasets: HashMap::new(),
             generators,
             accountant: TenantAccountant::new(),
-            cache: MeasureCache::new(config.cache_bytes),
+            cache: MeasureCache::with_flight_timeout(config.cache_bytes, config.flight_timeout),
             config,
             live: Mutex::new(Vec::new()),
+            wal: Mutex::new(None),
+            halted: AtomicBool::new(false),
         }
     }
 
@@ -181,11 +226,14 @@ impl Server {
         Ok(())
     }
 
-    /// Admission for request `id`: validation, then the labelled ε charge.
-    /// Purely sequential arithmetic — callers serialize admissions in log
-    /// order.
-    fn admit(
+    /// Admission for request `id` against an explicit accountant:
+    /// validation, then the labelled ε charge. Purely sequential
+    /// arithmetic — callers serialize admissions in log order. Factored
+    /// over the accountant so recovery can fold the same admission
+    /// function over a *scratch* accountant when verifying checkpoints.
+    fn admit_against(
         &self,
+        accountant: &TenantAccountant,
         id: u64,
         tenant: &str,
         req: &GenerateRequest,
@@ -195,28 +243,50 @@ impl Server {
             "req{id:05} {}/{} ε={} seed={}",
             req.dataset, req.mechanism, req.epsilon, req.seed
         );
-        self.accountant.spend(tenant, label, req.epsilon)
+        accountant.spend(tenant, label, req.epsilon)
+    }
+
+    /// [`Server::admit_against`] on the server's own accountant.
+    fn admit(
+        &self,
+        id: u64,
+        tenant: &str,
+        req: &GenerateRequest,
+    ) -> Result<BudgetStatement, ServeError> {
+        self.admit_against(&self.accountant, id, tenant, req)
     }
 
     /// Executes an admitted request: cached single-flight measure, then
     /// the request's own sample streams. The measure RNG depends only on
     /// the cache key (determinism invariant 2); sample `j` of request `id`
-    /// runs on `derive_stream(mix(key, id), j)` (invariant 3).
+    /// runs on `derive_stream(mix(key, id), j)` (invariant 3). Each sample
+    /// costs one work tick (plus whatever chunked passes the synthesis
+    /// runs internally); a tick-deadline crossing unwinds with
+    /// [`CancelUnwind`] and is classified by [`Server::execute_guarded`].
     fn execute(&self, id: u64, req: &GenerateRequest) -> Result<Vec<Graph>, ServeError> {
         let key = CacheKey::new(&req.dataset, &req.mechanism, req.epsilon, req.seed);
         let synthesis = self.measure_cached(&key)?;
         let sample_base = mix64(key.hash64(), id);
-        let graphs = (0..req.samples)
-            .map(|j| synthesis.sample(&mut derive_stream(sample_base, j as u64)))
-            .collect();
+        let mut graphs = Vec::with_capacity(req.samples);
+        for j in 0..req.samples {
+            cancel::checkpoint(1);
+            fault::point("serve.sample", &[fault::FaultAction::Panic, fault::FaultAction::Cancel]);
+            graphs.push(synthesis.sample(&mut derive_stream(sample_base, j as u64)));
+        }
         Ok(graphs)
     }
 
     /// The cache lookup + measure closure for `key`. Split out so the
     /// fault-injection tests can reason about it: the closure runs with no
     /// lock held and its panics resolve to [`ServeError::MeasurePanicked`].
+    ///
+    /// The measure runs under [`cancel::shield_ticks`]: which request
+    /// happens to lead a flight is a scheduling artifact, so the leader
+    /// must not bill the measure's internal chunk claims to its own tick
+    /// deadline (the shield still honors wall clocks and cancellations).
     fn measure_cached(&self, key: &CacheKey) -> Result<Arc<dyn PrivateSynthesis>, ServeError> {
         self.cache.get_or_measure(key, || {
+            fault::point("cache.measure", &[fault::FaultAction::Panic, fault::FaultAction::Cancel]);
             let generator = self
                 .generators
                 .iter()
@@ -227,29 +297,88 @@ impl Server {
             // request leads the flight, and however often an eviction
             // forces a re-measure, the intermediate's bytes are identical.
             let mut rng = derive_stream(key.hash64(), u64::MAX);
-            generator.measure(graph, key.epsilon(), &mut rng).map_err(|e| {
-                ServeError::MeasureFailed {
-                    mechanism: key.mechanism.clone(),
-                    reason: e.to_string(),
-                }
+            cancel::shield_ticks(|| {
+                generator.measure(graph, key.epsilon(), &mut rng).map_err(|e| {
+                    ServeError::MeasureFailed {
+                        mechanism: key.mechanism.clone(),
+                        reason: e.to_string(),
+                    }
+                })
             })
         })
+    }
+
+    /// [`Server::execute`] under the request's cancel token, with every
+    /// escaping unwind classified into a structured error: a
+    /// [`CancelUnwind`] whose cause is the tick budget becomes
+    /// [`ServeError::DeadlineExceeded`] (carrying the *declared* budget —
+    /// the consumed count is scheduling-dependent and never leaks into the
+    /// transcript), any other cancellation becomes
+    /// [`ServeError::Cancelled`], and a genuine panic becomes
+    /// [`ServeError::SamplePanicked`]. The admission charge stands in every
+    /// case (conservative DP).
+    fn execute_guarded(&self, id: u64, req: &GenerateRequest) -> Result<Vec<Graph>, ServeError> {
+        let token = CancelToken::new(
+            (req.deadline_ticks != 0).then_some(req.deadline_ticks),
+            self.config.wall_deadline,
+        );
+        let outcome = cancel::with_token(&token, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(id, req)))
+        });
+        match outcome {
+            Ok(result) => result,
+            Err(payload) if payload.is::<CancelUnwind>() => match token.cause() {
+                Some(CancelCause::Ticks) => {
+                    Err(ServeError::DeadlineExceeded { ticks: req.deadline_ticks })
+                }
+                _ => Err(ServeError::Cancelled),
+            },
+            Err(_) => Err(ServeError::SamplePanicked { mechanism: req.mechanism.clone() }),
+        }
     }
 
     /// Live one-request path: appends to the log and admits under the log
     /// lock (arrival order = log order = charge order), then executes
     /// outside it. Rejected requests are logged too — a replay must
     /// reproduce their rejections.
+    ///
+    /// With a WAL attached, the admission is durably appended (and
+    /// fsynced) *before* the in-memory charge: a crash between the two
+    /// re-derives the charge at recovery, never forgets it. A WAL append
+    /// failure rejects the request without logging it anywhere and halts
+    /// the server — the durable log and the in-memory log never diverge.
     pub fn submit(&self, tenant: &str, req: GenerateRequest) -> Result<Response, ServeError> {
+        if self.halted.load(Ordering::SeqCst) {
+            return Err(ServeError::Halted);
+        }
         let (id, admission) = {
             let mut live = self.live.lock().expect("request log poisoned");
             let id = live.len() as u64;
+            let entry = LogEntry { tenant: tenant.to_string(), request: req.clone() };
+            if let Some(wal) = self.wal.lock().expect("wal lock poisoned").as_mut() {
+                if let Err(e) = wal.append_admission(id, &entry) {
+                    self.halted.store(true, Ordering::SeqCst);
+                    return Err(ServeError::WalAppend { reason: e.to_string() });
+                }
+            }
             let admission = self.admit(id, tenant, &req);
-            live.push(LogEntry { tenant: tenant.to_string(), request: req.clone() });
+            live.push(entry);
+            let every = self.config.wal_checkpoint_every;
+            if every != 0 && (id + 1).is_multiple_of(every) {
+                let snapshot = self.accountant.encode_snapshot();
+                if let Some(wal) = self.wal.lock().expect("wal lock poisoned").as_mut() {
+                    if wal.append_checkpoint(id + 1, &snapshot).is_err() {
+                        // The admission itself is durable; only the
+                        // verification snapshot failed. Halt new traffic,
+                        // let this request finish.
+                        self.halted.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
             (id, admission)
         };
         let statement = admission?;
-        let graphs = self.execute(id, &req)?;
+        let graphs = self.execute_guarded(id, &req)?;
         Ok(Response { id, statement, graphs })
     }
 
@@ -280,7 +409,7 @@ impl Server {
         pgb_core::exec::run_elastic(threads, admitted.len(), |task| {
             let i = admitted[task];
             let result = self
-                .execute(i as u64, &log[i].request)
+                .execute_guarded(i as u64, &log[i].request)
                 .map(|graphs| graphs.iter().map(csr_bytes).collect());
             slots[task].set(result).expect("task executed twice");
         });
@@ -323,6 +452,105 @@ impl Server {
     pub fn replay_default(&self, log: &RequestLog) -> Transcript {
         self.replay(log, self.config.threads)
     }
+
+    /// Whether the server latched into the halted state after a WAL
+    /// failure.
+    pub fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::SeqCst)
+    }
+
+    /// Attaches a *fresh* WAL at `path` (truncating any previous file).
+    /// Must be called before the first request — a WAL attached mid-session
+    /// would miss the admissions already in memory.
+    pub fn attach_wal(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let live = self.live.lock().expect("request log poisoned");
+        assert!(live.is_empty(), "attach_wal requires a server with no admitted requests");
+        let wal = Wal::create(path.as_ref())
+            .map_err(|e| ServeError::WalAppend { reason: e.to_string() })?;
+        *self.wal.lock().expect("wal lock poisoned") = Some(wal);
+        Ok(())
+    }
+
+    /// Rebuilds this (fresh, tenant-registered) server from the WAL at
+    /// `path`: parses the log, truncates any torn tail, verifies every
+    /// embedded accountant checkpoint against a replayed admission fold,
+    /// replays the clean admission prefix through the ordinary replay
+    /// machinery (byte-identical transcript, by the determinism contract),
+    /// installs the recovered log as the live log, and re-attaches the WAL
+    /// positioned to append. The caller re-registers tenants with their
+    /// original grants first, exactly as for [`Server::replay`].
+    pub fn recover(&self, path: impl AsRef<Path>) -> Result<Recovery, ServeError> {
+        assert!(
+            self.live.lock().expect("request log poisoned").is_empty(),
+            "recover requires a server with no admitted requests"
+        );
+        let (wal, contents) = Wal::recover(path.as_ref())
+            .map_err(|e| ServeError::WalAppend { reason: e.to_string() })?;
+        let divergence = self.verify_checkpoints(&contents);
+        let transcript = self.replay(&contents.entries, self.config.threads);
+        *self.live.lock().expect("request log poisoned") = contents.entries.clone();
+        *self.wal.lock().expect("wal lock poisoned") = Some(wal);
+        Ok(Recovery {
+            transcript,
+            recovered: contents.entries.len(),
+            corrupt: contents.corrupt,
+            divergence,
+        })
+    }
+
+    /// Folds the WAL's admissions over a scratch accountant (same grants
+    /// as this server's tenants) and compares its byte snapshot against
+    /// every checkpoint record at that checkpoint's admission count.
+    /// `Some(report)` on the first mismatch — a WAL whose snapshots and
+    /// admissions disagree is surfaced, never silently trusted.
+    fn verify_checkpoints(&self, contents: &WalContents) -> Option<String> {
+        if contents.checkpoints.is_empty() {
+            return None;
+        }
+        let scratch = TenantAccountant::new();
+        for name in self.accountant.tenants() {
+            let grant = self.accountant.statement(&name).expect("listed tenant exists").grant;
+            scratch.register(&name, grant).expect("fresh scratch tenant registers");
+        }
+        let mismatch = |cp: &crate::wal::WalCheckpoint| -> Option<String> {
+            (scratch.encode_snapshot() != cp.tenants).then(|| {
+                format!(
+                    "checkpoint at {} admissions does not match the replayed accountant state",
+                    cp.next_id
+                )
+            })
+        };
+        let mut checkpoints = contents.checkpoints.iter().peekable();
+        for (id, entry) in contents.entries.iter().enumerate() {
+            while let Some(cp) = checkpoints.peek() {
+                if cp.next_id != id as u64 {
+                    break;
+                }
+                if let Some(report) = mismatch(cp) {
+                    return Some(report);
+                }
+                checkpoints.next();
+            }
+            let _ = self.admit_against(&scratch, id as u64, &entry.tenant, &entry.request);
+        }
+        checkpoints.find_map(mismatch)
+    }
+}
+
+/// What [`Server::recover`] yields: the replayed transcript plus the
+/// structured story of what the log held.
+#[derive(Clone, Debug)]
+pub struct Recovery {
+    /// The transcript of the recovered admission prefix — byte-identical
+    /// to the corresponding prefix of the crashed session's transcript.
+    pub transcript: Transcript,
+    /// Admissions recovered from the clean prefix.
+    pub recovered: usize,
+    /// The corruption report, if the log had a torn or damaged tail.
+    pub corrupt: Option<WalCorrupt>,
+    /// `Some(report)` if an embedded checkpoint disagreed with the
+    /// replayed admission fold.
+    pub divergence: Option<String>,
 }
 
 impl std::fmt::Debug for Server {
@@ -375,20 +603,24 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl Transcript {
-    /// Renders the transcript as diff-friendly text: one block per record
-    /// (admission outcome, then per-sample FNV-1a digests of the CSR
-    /// bytes) followed by the final tenant statements. Floats render with
-    /// `{}` — exact shortest round-trip, so two transcripts differ in text
-    /// iff they differ in value.
-    pub fn to_text(&self) -> String {
+    /// Renders only the per-record blocks, no tenant footer. Because
+    /// records render independently in log order, the rendering of a log
+    /// *prefix* is a byte prefix of the full log's rendering — which is
+    /// exactly what the crash-recovery checks diff (`head -c` against the
+    /// uninterrupted run).
+    pub fn records_text(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
             let q = &r.request;
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "req {:05} tenant={} {}/{} ε={} samples={} seed={}",
                 r.id, r.tenant, q.dataset, q.mechanism, q.epsilon, q.samples, q.seed
             );
+            if q.deadline_ticks != 0 {
+                let _ = write!(out, " ticks={}", q.deadline_ticks);
+            }
+            out.push('\n');
             match &r.admission {
                 Ok(st) => {
                     let _ = writeln!(
@@ -418,6 +650,15 @@ impl Transcript {
                 None => {}
             }
         }
+        out
+    }
+
+    /// Renders the transcript as diff-friendly text: the record blocks
+    /// ([`Transcript::records_text`]) followed by the final tenant
+    /// statements. Floats render with `{}` — exact shortest round-trip, so
+    /// two transcripts differ in text iff they differ in value.
+    pub fn to_text(&self) -> String {
+        let mut out = self.records_text();
         for t in &self.tenants {
             let _ = writeln!(
                 out,

@@ -94,8 +94,10 @@ fn recording_server(
         delay: Duration::from_millis(delay_ms),
         bytes: entry_bytes,
     };
-    let mut server =
-        Server::with_generators(ServerConfig { cache_bytes, threads: 0 }, vec![Box::new(gen)]);
+    let mut server = Server::with_generators(
+        ServerConfig { cache_bytes, threads: 0, ..ServerConfig::default() },
+        vec![Box::new(gen)],
+    );
     server.host_dataset("d", Graph::new(4));
     (server, counters)
 }
@@ -107,6 +109,7 @@ fn req(seed: u64) -> GenerateRequest {
         epsilon: 0.5,
         samples: 1,
         seed,
+        deadline_ticks: 0,
     }
 }
 

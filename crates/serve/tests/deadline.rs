@@ -1,0 +1,257 @@
+//! Deterministic-deadline satellite: work-tick budgets produce the same
+//! `deadline-exceeded` rejections — byte-identical transcripts — at any
+//! worker count, charges stand after a rejection (conservative DP), a
+//! cancelled leader's flight is abandoned and retried by its waiters, and
+//! a stuck flight times out instead of wedging its waiters forever.
+
+use pgb_core::{GenerateError, GraphGenerator, PrivateSynthesis};
+use pgb_graph::Graph;
+use pgb_par::cancel::CancelUnwind;
+use pgb_serve::{GenerateRequest, LogEntry, ServeError, Server, ServerConfig, Transcript};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn standard_server(threads: usize) -> Server {
+    let mut server =
+        Server::new(ServerConfig { cache_bytes: 64 << 20, threads, ..ServerConfig::default() });
+    server.host_dataset(
+        "er",
+        pgb_models::erdos_renyi_gnp(200, 0.05, &mut StdRng::seed_from_u64(0xE0)),
+    );
+    server
+        .host_dataset("ba", pgb_models::barabasi_albert(200, 3, &mut StdRng::seed_from_u64(0xBA)));
+    server.register_tenant("alice", 8.0).unwrap();
+    server.register_tenant("bob", 8.0).unwrap();
+    server
+}
+
+fn entry(tenant: &str, mechanism: &str, seed: u64, deadline_ticks: u64) -> LogEntry {
+    LogEntry {
+        tenant: tenant.to_string(),
+        request: GenerateRequest {
+            dataset: if seed.is_multiple_of(2) { "er" } else { "ba" }.into(),
+            mechanism: mechanism.into(),
+            epsilon: 0.5,
+            samples: 3,
+            seed,
+            deadline_ticks,
+        },
+    }
+}
+
+/// A log mixing unlimited requests, budgets so small they must trip
+/// (ticks=1 with 3 samples: the second per-sample checkpoint always
+/// exceeds it), and budgets so large they never trip.
+fn mixed_deadline_log() -> Vec<LogEntry> {
+    vec![
+        entry("alice", "DGG", 1, 0),
+        entry("bob", "DGG", 2, 1),
+        entry("alice", "TriCycLe", 3, 1 << 40),
+        entry("bob", "DGG", 1, 1), // same key as req 0: cancelled hit
+        entry("alice", "DGG", 4, 0),
+        entry("bob", "TriCycLe", 5, 1),
+        entry("alice", "DGG", 2, 1 << 40), // same key as req 1, now unlimited
+    ]
+}
+
+#[test]
+fn deadline_rejections_are_byte_identical_at_any_worker_count() {
+    let log = mixed_deadline_log();
+    let baseline = standard_server(1).replay(&log, 1);
+
+    let deadline_hits: Vec<u64> = baseline
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(r.admission, Err(ServeError::DeadlineExceeded { .. }))
+                || r.samples
+                    .as_ref()
+                    .is_some_and(|s| matches!(s, Err(ServeError::DeadlineExceeded { .. })))
+        })
+        .map(|r| r.id)
+        .collect();
+    assert!(!deadline_hits.is_empty(), "the tick-1 requests must trip their deadlines");
+    let text = baseline.records_text();
+    assert!(text.contains("ticks=1"), "tick budgets are part of the logged identity:\n{text}");
+    assert!(text.contains("deadline-exceeded"), "rejections render in the transcript:\n{text}");
+
+    for threads in [2usize, 8, 0] {
+        let transcript = standard_server(threads).replay(&log, threads);
+        assert_eq!(
+            transcript, baseline,
+            "deadline outcomes diverged at {threads} workers (hits at 1 worker: {deadline_hits:?})"
+        );
+        assert_eq!(transcript.records_text(), text);
+    }
+}
+
+#[test]
+fn deadline_rejection_leaves_the_charge_standing() {
+    let server = standard_server(1);
+    let out = server.submit("alice", entry("alice", "DGG", 7, 1).request);
+    match out {
+        Err(ServeError::DeadlineExceeded { ticks }) => assert_eq!(ticks, 1),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // ε was committed at admission and is not refunded on cancellation.
+    let st = server.accountant().statement("alice").unwrap();
+    assert_eq!(st.consumed, 0.5, "the cancelled request's charge stands");
+
+    // The server is still healthy: the same key, unlimited, succeeds.
+    let ok = server.submit("alice", entry("alice", "DGG", 7, 0).request).unwrap();
+    assert_eq!(ok.graphs.len(), 3);
+}
+
+/// Shared scaffolding for the flight tests: a mechanism whose measure
+/// blocks for `delay` and, while `fuse` is positive, unwinds with the
+/// cooperative-cancellation payload (a cancelled leader mid-measure).
+struct Flaky {
+    delay: Duration,
+    fuse: AtomicUsize,
+    measures: AtomicUsize,
+}
+
+struct FlakySynthesis {
+    noise: u64,
+}
+
+impl GraphGenerator for Flaky {
+    fn name(&self) -> &'static str {
+        "Flaky"
+    }
+    fn measure(
+        &self,
+        _graph: &Graph,
+        _epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn PrivateSynthesis>, GenerateError> {
+        self.measures.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        if self.fuse.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| f.checked_sub(1)).is_ok()
+        {
+            std::panic::panic_any(CancelUnwind);
+        }
+        Ok(Box::new(FlakySynthesis { noise: rng.next_u64() }))
+    }
+}
+
+impl PrivateSynthesis for FlakySynthesis {
+    fn name(&self) -> &'static str {
+        "Flaky"
+    }
+    fn epsilon_spent(&self) -> f64 {
+        1.0
+    }
+    fn heap_bytes(&self) -> usize {
+        64
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> Graph {
+        let bits = self.noise ^ rng.next_u64();
+        Graph::from_edges(3, [(0, 1), (1, 2)].into_iter().filter(|_| bits & 1 == 1)).unwrap()
+    }
+}
+
+fn flaky_server(delay: Duration, fuse: usize, flight_timeout: Duration) -> Server {
+    let gen = Flaky { delay, fuse: AtomicUsize::new(fuse), measures: AtomicUsize::new(0) };
+    let mut server = Server::with_generators(
+        ServerConfig {
+            cache_bytes: 1 << 20,
+            threads: 1,
+            flight_timeout,
+            ..ServerConfig::default()
+        },
+        vec![Box::new(gen)],
+    );
+    server.host_dataset("d", Graph::new(4));
+    server.register_tenant("alice", 8.0).unwrap();
+    server.register_tenant("bob", 8.0).unwrap();
+    server
+}
+
+fn flaky_req(seed: u64) -> GenerateRequest {
+    GenerateRequest {
+        dataset: "d".into(),
+        mechanism: "Flaky".into(),
+        epsilon: 0.5,
+        samples: 1,
+        seed,
+        deadline_ticks: 0,
+    }
+}
+
+/// A leader cancelled mid-measure abandons its flight; a coalesced waiter
+/// retries the lookup, becomes the new leader, and completes — shared
+/// flights never inherit one request's cancellation.
+#[test]
+fn cancelled_leader_abandons_flight_and_waiter_retries() {
+    let server = flaky_server(Duration::from_millis(150), 1, Duration::from_secs(30));
+    let (leader, waiter) = std::thread::scope(|scope| {
+        let leader = scope.spawn(|| server.submit("alice", flaky_req(3)));
+        // Let the leader claim the flight before the waiter coalesces.
+        std::thread::sleep(Duration::from_millis(50));
+        let waiter = scope.spawn(|| server.submit("bob", flaky_req(3)));
+        (leader.join().unwrap(), waiter.join().unwrap())
+    });
+
+    assert!(
+        matches!(leader, Err(ServeError::Cancelled)),
+        "the cancelled leader reports its own cancellation: {leader:?}"
+    );
+    let waited = waiter.expect("the waiter must retry the abandoned flight and succeed");
+    assert_eq!(waited.graphs.len(), 1);
+    // Both tenants were charged at admission; the cancellation refunds
+    // nothing.
+    assert_eq!(server.accountant().statement("alice").unwrap().consumed, 0.5);
+    assert_eq!(server.accountant().statement("bob").unwrap().consumed, 0.5);
+}
+
+/// A waiter on a flight whose leader never resolves gives up after the
+/// configured timeout with a structured error instead of blocking on the
+/// condvar forever.
+#[test]
+fn stuck_flight_times_out_with_a_structured_error() {
+    let server = flaky_server(Duration::from_millis(400), 0, Duration::from_millis(60));
+    let (leader, waiter) = std::thread::scope(|scope| {
+        let leader = scope.spawn(|| server.submit("alice", flaky_req(9)));
+        std::thread::sleep(Duration::from_millis(50));
+        let waiter = scope.spawn(|| server.submit("bob", flaky_req(9)));
+        (leader.join().unwrap(), waiter.join().unwrap())
+    });
+
+    match waiter {
+        Err(ServeError::FlightTimedOut { mechanism }) => assert_eq!(mechanism, "Flaky"),
+        other => panic!("expected FlightTimedOut, got {other:?}"),
+    }
+    // The slow leader itself is unaffected by its waiter's impatience.
+    assert_eq!(leader.expect("leader completes").graphs.len(), 1);
+    // And the cache is not poisoned: a later request hits the entry the
+    // leader resolved.
+    let again = server.submit("bob", flaky_req(9)).unwrap();
+    assert_eq!(again.graphs.len(), 1);
+    assert!(server.cache().stats().hits >= 1);
+}
+
+/// The full transcript text of a deadline-bearing log is stable — pinning
+/// the `ticks=` rendering so the script grammar and transcript stay in
+/// sync.
+#[test]
+fn transcripts_with_deadlines_roundtrip_through_records_text() {
+    let log = mixed_deadline_log();
+    let a: Transcript = standard_server(2).replay(&log, 2);
+    let b: Transcript = standard_server(8).replay(&log, 8);
+    assert_eq!(a.records_text(), b.records_text());
+    assert_eq!(a.to_text(), b.to_text());
+    // Requests without a deadline must not grow a ticks field.
+    for line in a.records_text().lines().filter(|l| l.contains("seed=")) {
+        let id: u64 = line[3..8].parse().unwrap_or(u64::MAX);
+        if let Some(e) = log.get(id as usize) {
+            assert_eq!(
+                line.contains("ticks="),
+                e.request.deadline_ticks != 0,
+                "ticks field presence must track the request: {line}"
+            );
+        }
+    }
+}

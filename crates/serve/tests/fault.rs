@@ -102,7 +102,7 @@ fn faulty_server(panics: isize, delay_ms: u64) -> (Server, Arc<Counters>) {
         delay: Duration::from_millis(delay_ms),
     };
     let mut server = Server::with_generators(
-        ServerConfig { cache_bytes: 1 << 20, threads: 0 },
+        ServerConfig { cache_bytes: 1 << 20, threads: 0, ..ServerConfig::default() },
         vec![Box::new(gen)],
     );
     server.host_dataset("d", Graph::new(4));
@@ -116,6 +116,7 @@ fn req(seed: u64) -> GenerateRequest {
         epsilon: 0.5,
         samples: 1,
         seed,
+        deadline_ticks: 0,
     }
 }
 

@@ -13,7 +13,8 @@ use rand::SeedableRng;
 /// A fresh server hosting the two fixed smoke datasets with the standard
 /// mechanism suite and the smoke script's tenants registered.
 fn smoke_server(cache_bytes: usize) -> Server {
-    let mut server = Server::new(ServerConfig { cache_bytes, threads: 0 });
+    let mut server =
+        Server::new(ServerConfig { cache_bytes, threads: 0, ..ServerConfig::default() });
     server.host_dataset(
         "er",
         pgb_models::erdos_renyi_gnp(200, 0.05, &mut StdRng::seed_from_u64(0xE0)),
@@ -126,6 +127,7 @@ fn samples_are_independent_across_requests_and_indices() {
         epsilon: 0.5,
         samples,
         seed: 99,
+        deadline_ticks: 0,
     };
     let a = server.submit("alice", req(2)).unwrap();
     let b = server.submit("bob", req(2)).unwrap();
